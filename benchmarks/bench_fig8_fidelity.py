@@ -1,0 +1,85 @@
+"""Fig. 8 — program fidelity per topology × benchmark × legalization engine.
+
+Paper protocol: every engine legalizes the same pseudo-connection GP
+solution; each benchmark is mapped ``QGDP_BENCH_SEEDS`` times (paper: 50)
+with random connected placements and the mean Eq. 7 fidelity is reported.
+
+Expected shape (paper Fig. 8): qGDP highest on every topology; Q-Abacus ≈
+Q-Tetris next; classical Abacus/Tetris collapse wherever their zero-spacing
+macro legalization leaves qubit pairs inside the quantum minimum spacing
+(xtree, aspen-11, aspen-M, falcon), and heavier benchmarks (bv-16, qgan-9)
+sit orders of magnitude below bv-4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import PAPER_BENCHMARKS
+from repro.evaluation import evaluate_fidelity, format_fig8
+from repro.legalization import PAPER_ENGINE_ORDER
+from repro.topologies import PAPER_TOPOLOGIES
+
+#: Paper Fig. 8 per-topology mean fidelities (engine → mean across the
+#: seven benchmarks), for side-by-side comparison in the bench output.
+PAPER_MEANS = {
+    "grid": {"qgdp": 0.3746, "q-abacus": 0.3717, "q-tetris": 0.3717, "abacus": 0.0276, "tetris": 0.0276},
+    "xtree": {"qgdp": 0.3118, "q-abacus": 0.2006, "q-tetris": 0.2006, "abacus": 0.0029, "tetris": 0.0029},
+    "falcon": {"qgdp": 0.1995, "q-abacus": 0.0176, "q-tetris": 0.0174, "abacus": 0.0, "tetris": 0.0},
+    "eagle": {"qgdp": 0.0535, "q-abacus": 0.0318, "q-tetris": 0.0319, "abacus": 0.0, "tetris": 0.0},
+    "aspen11": {"qgdp": 0.1128, "q-abacus": 0.0705, "q-tetris": 0.0913, "abacus": 0.0, "tetris": 0.0},
+    "aspenm": {"qgdp": 0.1034, "q-abacus": 0.0783, "q-tetris": 0.0753, "abacus": 0.0027, "tetris": 0.0027},
+}
+
+
+@pytest.fixture(scope="module")
+def fidelity_results(eval_config):
+    return evaluate_fidelity(
+        PAPER_TOPOLOGIES, PAPER_BENCHMARKS, PAPER_ENGINE_ORDER, eval_config
+    )
+
+
+def test_fig8_fidelity_table(benchmark, fidelity_results, eval_config):
+    """Regenerate and print the Fig. 8 table; check the headline shapes."""
+
+    def summarize():
+        means = {}
+        for topo in PAPER_TOPOLOGIES:
+            means[topo] = {}
+            for engine in PAPER_ENGINE_ORDER:
+                cells = [
+                    fidelity_results[(topo, bench, engine)].mean
+                    for bench in PAPER_BENCHMARKS
+                    if (topo, bench, engine) in fidelity_results
+                ]
+                means[topo][engine] = sum(cells) / len(cells)
+        return means
+
+    means = benchmark.pedantic(summarize, rounds=1, iterations=1)
+
+    print()
+    print(format_fig8(fidelity_results, PAPER_TOPOLOGIES, PAPER_BENCHMARKS, PAPER_ENGINE_ORDER))
+    print("paper vs measured per-topology means (engine: paper / measured):")
+    for topo in PAPER_TOPOLOGIES:
+        row = "  ".join(
+            f"{e}: {PAPER_MEANS[topo][e]:.4f}/{means[topo][e]:.4f}"
+            for e in PAPER_ENGINE_ORDER
+        )
+        print(f"  {topo:8s} {row}")
+
+    # Shape assertions (who wins), not absolute values.  On the grid the
+    # classical engines leave no qubit-spacing violations under our GP
+    # substrate, so qGDP and Abacus are a statistical tie there (within
+    # 5%); everywhere else qGDP strictly wins.  See EXPERIMENTS.md.
+    for topo in PAPER_TOPOLOGIES:
+        assert means[topo]["qgdp"] >= means[topo]["tetris"] * 0.95, topo
+        slack = 0.95 if topo == "grid" else 0.999
+        assert means[topo]["qgdp"] >= means[topo]["abacus"] * slack, topo
+    # Classical engines collapse on the octagon and tree devices.
+    for topo in ("xtree", "aspen11", "aspenm"):
+        assert means[topo]["tetris"] < 0.7 * means[topo]["qgdp"], topo
+    # Heavier benchmarks are strictly harder.
+    for topo in PAPER_TOPOLOGIES:
+        bv4 = fidelity_results[(topo, "bv-4", "qgdp")].mean
+        bv16 = fidelity_results[(topo, "bv-16", "qgdp")].mean
+        assert bv16 < bv4, topo

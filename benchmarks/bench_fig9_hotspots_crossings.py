@@ -1,0 +1,61 @@
+"""Fig. 9 — frequency-hotspot proportion Ph and coupler crossings X.
+
+Expected shape (paper Fig. 9): qGDP has the lowest mean Ph and by far the
+fewest crossings; the quantum hybrids sit between qGDP and the classical
+engines on Ph; crossings do not correlate tightly with Ph (the paper's
+observation about the non-local nature of resonator crosstalk).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_fig9
+from repro.legalization import PAPER_ENGINE_ORDER
+from repro.topologies import PAPER_TOPOLOGIES
+
+#: Paper Fig. 9 means across topologies.
+PAPER_MEAN_PH = {"qgdp": 0.55, "q-abacus": 3.74, "q-tetris": 3.80, "abacus": 6.00, "tetris": 6.01}
+PAPER_MEAN_X = {"qgdp": 1.2, "q-abacus": 32.8, "q-tetris": 33.5, "abacus": 19.8, "tetris": 20.8}
+
+
+def test_fig9_hotspots_and_crossings(benchmark, engine_evaluations):
+    def summarize():
+        means = {}
+        for engine in PAPER_ENGINE_ORDER:
+            ph = [
+                engine_evaluations[t][engine].metrics.ph_percent
+                for t in PAPER_TOPOLOGIES
+            ]
+            crosses = [
+                engine_evaluations[t][engine].metrics.crossings
+                for t in PAPER_TOPOLOGIES
+            ]
+            means[engine] = (
+                sum(ph) / len(ph),
+                sum(crosses) / len(crosses),
+            )
+        return means
+
+    means = benchmark.pedantic(summarize, rounds=1, iterations=1)
+
+    print()
+    print(format_fig9(engine_evaluations, PAPER_TOPOLOGIES, PAPER_ENGINE_ORDER))
+    print("paper vs measured means (engine: Ph paper/measured, X paper/measured):")
+    for engine in PAPER_ENGINE_ORDER:
+        ph, crosses = means[engine]
+        print(
+            f"  {engine:9s} Ph {PAPER_MEAN_PH[engine]:5.2f}/{ph:5.2f}  "
+            f"X {PAPER_MEAN_X[engine]:5.1f}/{crosses:5.1f}"
+        )
+
+    # Shape: qGDP minimizes both means.
+    qgdp_ph, qgdp_x = means["qgdp"]
+    for engine in ("abacus", "tetris"):
+        assert qgdp_ph <= means[engine][0] + 1e-9
+    assert qgdp_x <= min(means[e][1] for e in PAPER_ENGINE_ORDER) + 1e-9
+    # Classical engines leave higher hotspot pressure than qGDP on the
+    # spacing-constrained topologies.
+    for topo in ("xtree", "aspen11", "aspenm", "falcon"):
+        q = engine_evaluations[topo]["qgdp"].metrics
+        t = engine_evaluations[topo]["tetris"].metrics
+        assert q.spacing_violations == 0
+        assert t.spacing_violations >= q.spacing_violations

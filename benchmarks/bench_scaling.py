@@ -1,0 +1,53 @@
+"""Scalability — qGDP-LG runtime and quality vs. device size.
+
+The paper motivates qGDP by the scaling of NISQ devices (25 → 127 qubits
+in Table I).  This bench sweeps square grids from 16 to 64 qubits and
+records legalization runtime and integration quality; runtime should grow
+polynomially (the LP is the dominant term, O(n²) constraints) while
+integration stays near-perfect.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import QGDPConfig
+from repro.legalization import get_engine, run_legalization
+from repro.metrics import check_legality, integration_ratio
+from repro.placement import GlobalPlacer, build_layout
+from repro.topologies import grid_topology
+
+
+def test_qgdp_scaling_on_grids(benchmark):
+    cfg = QGDPConfig()
+
+    def sweep():
+        rows = {}
+        for side in (4, 5, 6, 8):
+            topology = grid_topology(side)
+            netlist, grid = build_layout(topology, cfg)
+            GlobalPlacer(cfg).run(netlist, grid, seed=cfg.seed)
+            outcome = run_legalization(netlist, grid, get_engine("qgdp"), cfg)
+            unified, total = integration_ratio(netlist)
+            rows[side * side] = {
+                "tq_ms": outcome.qubit_time_s * 1e3,
+                "te_ms": outcome.resonator_time_s * 1e3,
+                "unified": unified,
+                "total": total,
+                "legal": not check_legality(netlist, grid),
+            }
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print("== qGDP-LG scaling on square grids ==")
+    for qubits, row in rows.items():
+        print(
+            f"  {qubits:3d} qubits  tq {row['tq_ms']:7.1f} ms  "
+            f"te {row['te_ms']:6.1f} ms  Iedge {row['unified']}/{row['total']}"
+        )
+
+    for qubits, row in rows.items():
+        assert row["legal"], f"{qubits}-qubit layout illegal"
+        assert row["unified"] >= 0.9 * row["total"], qubits
+    # Polynomial, not explosive: 4x the qubits costs < 60x the time.
+    assert rows[64]["tq_ms"] < 60 * max(rows[16]["tq_ms"], 1.0)

@@ -1,0 +1,53 @@
+"""Table III — detailed placement evaluation: qGDP-LG vs qGDP-DP.
+
+Expected shape (paper Table III): DP matches or improves Iedge on every
+topology, never increases crossings or Ph, and cuts the hotspot-qubit
+count HQ substantially; #Cells per topology matches the paper within a
+few percent (same Eq. 6 partitioning).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table3
+from repro.topologies import PAPER_TOPOLOGIES
+
+#: Paper Table III rows: topology -> (#Cells, LG (Iedge, X, Ph, HQ), DP (...)).
+PAPER_TABLE3 = {
+    "grid": (490, ("37/40", 3, 1.38, 11), ("37/40", 3, 0.81, 5)),
+    "xtree": (660, ("47/52", 5, 1.37, 20), ("52/52", 0, 0.34, 10)),
+    "falcon": (354, ("28/28", 0, 0.92, 8), ("28/28", 0, 0.0, 0)),
+    "eagle": (1801, ("142/144", 2, 1.27, 68), ("143/144", 1, 0.32, 15)),
+    "aspen11": (598, ("46/48", 2, 0.91, 20), ("48/48", 0, 0.66, 9)),
+    "aspenm": (1310, ("98/106", 8, 2.71, 50), ("103/106", 3, 0.76, 14)),
+}
+
+
+def test_table3_detailed_placement(benchmark, engine_evaluations):
+    def collect():
+        rows = {}
+        for topo in PAPER_TOPOLOGIES:
+            ev = engine_evaluations[topo]["qgdp"]
+            rows[topo] = (ev.metrics, ev.dp_metrics)
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    print()
+    print(format_table3(engine_evaluations, PAPER_TOPOLOGIES))
+    print("paper reference rows:")
+    for topo, (cells, lg, dp) in PAPER_TABLE3.items():
+        print(f"  {topo:8s} #Cells={cells} LG={lg} DP={dp}")
+
+    for topo in PAPER_TOPOLOGIES:
+        lg, dp = rows[topo]
+        assert dp is not None, topo
+        # #Cells within 6% of the paper (Eq. 6 partitioning).
+        paper_cells = PAPER_TABLE3[topo][0]
+        assert abs(lg.num_cells - paper_cells) / paper_cells < 0.06, topo
+        # DP never regresses LG.
+        assert dp.unified >= lg.unified, topo
+        assert dp.crossings <= lg.crossings, topo
+        assert dp.ph_percent <= lg.ph_percent + 1e-9, topo
+        assert dp.hq <= lg.hq, topo
+        # Both stages stay legal.
+        assert lg.legality_violations == 0 and dp.legality_violations == 0

@@ -1,0 +1,45 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one of the paper's tables or figures and prints it
+next to the paper's reference numbers (see EXPERIMENTS.md).  Heavy
+artifacts (GP solutions, legalized layouts, engine evaluations) are
+computed once per session and shared.
+
+``QGDP_BENCH_SEEDS`` controls the number of random mappings per fidelity
+cell (default 10; the paper uses 50 — set it for a full run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import QGDPConfig
+from repro.evaluation import EvaluationConfig, evaluate_engines
+from repro.legalization import PAPER_ENGINE_ORDER
+from repro.topologies import PAPER_TOPOLOGIES
+
+BENCH_SEEDS = int(os.environ.get("QGDP_BENCH_SEEDS", "10"))
+
+
+@pytest.fixture(scope="session")
+def eval_config():
+    """The sweep configuration every bench shares."""
+    return EvaluationConfig(
+        num_seeds=BENCH_SEEDS, detailed=True, config=QGDPConfig()
+    )
+
+
+@pytest.fixture(scope="session")
+def engine_evaluations(eval_config):
+    """{topology: {engine: EngineEvaluation}} for all paper topologies.
+
+    Feeds Fig. 9, Table II and Table III; computed once.
+    """
+    return {
+        name: evaluate_engines(
+            name, PAPER_ENGINE_ORDER, eval_config, with_dp_for=("qgdp",)
+        )
+        for name in PAPER_TOPOLOGIES
+    }

@@ -1,0 +1,30 @@
+"""Quickstart: legalize a 27-qubit IBM Falcon layout with qGDP.
+
+Runs the full flow (global placement → qubit + resonator legalization →
+detailed placement) on the Falcon topology, prints the layout-quality
+metrics the paper reports, and renders the legalized chip as ASCII.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import QGDPConfig, run_flow
+from repro.visualization import render_layout
+
+
+def main() -> None:
+    flow, result = run_flow("falcon", engine="qgdp", detailed=True)
+
+    print(f"topology : {result.topology_name}")
+    print(f"engine   : {result.engine}")
+    for stage in result.stages:
+        print(f"\n== stage {stage.stage} ({stage.runtime_s:.2f}s) ==")
+        for key in ("iedge", "crossings", "ph_percent", "hq", "legality_violations"):
+            if key in stage.metrics:
+                print(f"  {key:20s} {stage.metrics[key]}")
+
+    print("\nlegalized layout (Q = qubit macro, letters = resonator blocks):")
+    print(render_layout(flow.netlist, flow.grid))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` also works on older pip/setuptools stacks that lack
+wheel support for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""qGDP: quantum legalization and detailed placement for superconducting QCs.
+
+A from-scratch reproduction of *qGDP: Quantum Legalization and Detailed
+Placement for Superconducting Quantum Computers* (DATE 2025).  The library
+covers the whole flow the paper evaluates:
+
+* device topologies and quantum netlists (qubits, partitioned resonators),
+* a global-placement substrate with pseudo connections,
+* the qGDP quantum legalizer (LP qubit macro legalization with minimum
+  spacing + integration-aware resonator legalization) and the four
+  classical baselines (Tetris, Abacus, and their quantum-qubit hybrids),
+* the window-based detailed placer,
+* crosstalk/fidelity models, NISQ benchmark circuits and a transpiler,
+* an evaluation harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import run_flow
+    flow, result = run_flow("falcon", engine="qgdp")
+    print(result.final.metrics["iedge"], result.final.metrics["ph_percent"])
+"""
+
+from repro.core.config import QGDPConfig
+from repro.core.pipeline import QGDPFlow, run_flow
+from repro.core.result import FlowResult, StageReport
+from repro.circuits import QuantumCircuit, get_benchmark, PAPER_BENCHMARKS
+from repro.compiler import transpile, TranspiledCircuit
+from repro.crosstalk import NoiseParameters, program_fidelity
+from repro.evaluation import (
+    EvaluationConfig,
+    evaluate_engines,
+    evaluate_fidelity,
+    format_fig8,
+    format_fig9,
+    format_table2,
+    format_table3,
+)
+from repro.legalization import ENGINES, PAPER_ENGINE_ORDER, get_engine
+from repro.metrics import layout_metrics
+from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+from repro.topologies import PAPER_TOPOLOGIES, Topology, get_topology
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "QGDPConfig",
+    "QGDPFlow",
+    "run_flow",
+    "FlowResult",
+    "StageReport",
+    "QuantumCircuit",
+    "get_benchmark",
+    "PAPER_BENCHMARKS",
+    "transpile",
+    "TranspiledCircuit",
+    "NoiseParameters",
+    "program_fidelity",
+    "EvaluationConfig",
+    "evaluate_engines",
+    "evaluate_fidelity",
+    "format_fig8",
+    "format_fig9",
+    "format_table2",
+    "format_table3",
+    "ENGINES",
+    "PAPER_ENGINE_ORDER",
+    "get_engine",
+    "layout_metrics",
+    "QuantumNetlist",
+    "Qubit",
+    "Resonator",
+    "WireBlock",
+    "PAPER_TOPOLOGIES",
+    "Topology",
+    "get_topology",
+    "__version__",
+]

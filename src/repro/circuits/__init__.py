@@ -1,0 +1,29 @@
+"""NISQ benchmark circuits (paper Table I).
+
+A minimal gate-level IR plus generators for the benchmarks the paper
+evaluates: Bernstein-Vazirani (bv-4/9/16), QAOA (qaoa-4), linear Ising
+simulation (ising-4), and QGAN ansatz circuits (qgan-4/9).
+"""
+
+from repro.circuits.gates import Gate, GATE_DURATIONS_NS, is_two_qubit
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import (
+    bernstein_vazirani,
+    qaoa_maxcut,
+    ising_chain,
+    qgan_ansatz,
+)
+from repro.circuits.registry import get_benchmark, PAPER_BENCHMARKS
+
+__all__ = [
+    "Gate",
+    "GATE_DURATIONS_NS",
+    "is_two_qubit",
+    "QuantumCircuit",
+    "bernstein_vazirani",
+    "qaoa_maxcut",
+    "ising_chain",
+    "qgan_ansatz",
+    "get_benchmark",
+    "PAPER_BENCHMARKS",
+]

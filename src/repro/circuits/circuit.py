@@ -1,0 +1,97 @@
+"""A small gate-list quantum circuit IR."""
+
+from __future__ import annotations
+
+from repro.circuits.gates import Gate
+
+
+class QuantumCircuit:
+    """An ordered list of gates over ``num_qubits`` logical qubits.
+
+    The IR is intentionally minimal: the fidelity model needs gate counts,
+    connectivity demands, and a schedule, not simulation.
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise ValueError(f"need at least one qubit, got {num_qubits}")
+        self.num_qubits = num_qubits
+        self.name = name
+        self.gates = []
+
+    # -- gate builders -----------------------------------------------------
+    def _append(self, name: str, qubits: tuple, params: tuple = ()) -> "QuantumCircuit":
+        for q in qubits:
+            if not (0 <= q < self.num_qubits):
+                raise ValueError(f"qubit {q} outside 0..{self.num_qubits - 1}")
+        self.gates.append(Gate(name, qubits, params))
+        return self
+
+    def h(self, q: int) -> "QuantumCircuit":
+        """Hadamard."""
+        return self._append("h", (q,))
+
+    def x(self, q: int) -> "QuantumCircuit":
+        """Pauli-X."""
+        return self._append("x", (q,))
+
+    def rx(self, q: int, theta: float) -> "QuantumCircuit":
+        """X rotation."""
+        return self._append("rx", (q,), (theta,))
+
+    def ry(self, q: int, theta: float) -> "QuantumCircuit":
+        """Y rotation."""
+        return self._append("ry", (q,), (theta,))
+
+    def rz(self, q: int, theta: float) -> "QuantumCircuit":
+        """Z rotation."""
+        return self._append("rz", (q,), (theta,))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """CNOT."""
+        return self._append("cx", (control, target))
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        """Controlled-Z."""
+        return self._append("cz", (a, b))
+
+    def rzz(self, a: int, b: int, theta: float) -> "QuantumCircuit":
+        """ZZ interaction rotation."""
+        return self._append("rzz", (a, b), (theta,))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        """SWAP (decomposed to 3 CX by the transpiler)."""
+        return self._append("swap", (a, b))
+
+    # -- stats ---------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        """Total gate count."""
+        return len(self.gates)
+
+    def count_1q(self) -> int:
+        """Number of single-qubit gates."""
+        return sum(1 for g in self.gates if g.num_qubits == 1)
+
+    def count_2q(self) -> int:
+        """Number of two-qubit gates."""
+        return sum(1 for g in self.gates if g.num_qubits == 2)
+
+    def two_qubit_pairs(self) -> list:
+        """Logical qubit pairs touched by 2q gates, in order."""
+        return [g.qubits for g in self.gates if g.num_qubits == 2]
+
+    def depth(self) -> int:
+        """Circuit depth counting every gate as one time step."""
+        level = [0] * self.num_qubits
+        for gate in self.gates:
+            start = max(level[q] for q in gate.qubits)
+            for q in gate.qubits:
+                level[q] = start + 1
+        return max(level) if level else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit({self.name!r}, qubits={self.num_qubits}, "
+            f"gates={self.num_gates}, depth={self.depth()})"
+        )

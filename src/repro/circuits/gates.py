@@ -1,0 +1,60 @@
+"""Gate primitives for the circuit IR.
+
+The native set mirrors fixed-frequency transmon devices: arbitrary 1-qubit
+rotations (microwave pulses) plus a single microwave-activated 2-qubit
+entangler (CX after standard basis changes).  Durations are representative
+published values; the fidelity model only needs the 1q/2q distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Representative gate durations in nanoseconds.
+GATE_DURATIONS_NS = {1: 35.0, 2: 300.0}
+
+_ONE_QUBIT = {"h", "x", "y", "z", "s", "t", "rx", "ry", "rz"}
+_TWO_QUBIT = {"cx", "cz", "rzz", "swap"}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application.
+
+    ``qubits`` are logical indices before transpilation, physical after.
+    ``params`` carries rotation angles where applicable.
+    """
+
+    name: str
+    qubits: tuple
+    params: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        name = self.name.lower()
+        if name in _ONE_QUBIT:
+            expected = 1
+        elif name in _TWO_QUBIT:
+            expected = 2
+        else:
+            raise ValueError(f"unknown gate {self.name!r}")
+        if len(self.qubits) != expected:
+            raise ValueError(
+                f"{self.name} expects {expected} qubit(s), got {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"{self.name} qubits must be distinct: {self.qubits}")
+
+    @property
+    def num_qubits(self) -> int:
+        """1 or 2."""
+        return len(self.qubits)
+
+    @property
+    def duration_ns(self) -> float:
+        """Nominal duration."""
+        return GATE_DURATIONS_NS[self.num_qubits]
+
+
+def is_two_qubit(gate: Gate) -> bool:
+    """True for entangling gates."""
+    return gate.num_qubits == 2

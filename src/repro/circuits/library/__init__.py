@@ -1,0 +1,8 @@
+"""Benchmark circuit generators (paper Table I)."""
+
+from repro.circuits.library.bv import bernstein_vazirani
+from repro.circuits.library.qaoa import qaoa_maxcut
+from repro.circuits.library.ising import ising_chain
+from repro.circuits.library.qgan import qgan_ansatz
+
+__all__ = ["bernstein_vazirani", "qaoa_maxcut", "ising_chain", "qgan_ansatz"]

@@ -1,0 +1,39 @@
+"""Bernstein-Vazirani circuits [34].
+
+``bv-n`` uses ``n`` qubits total: ``n - 1`` input qubits plus one ancilla.
+The oracle encodes a secret bitstring with CX gates from every set input
+bit onto the ancilla; the all-ones secret (the default) maximizes oracle
+size, matching the worst-case usage the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def bernstein_vazirani(num_qubits: int, secret: str = None) -> QuantumCircuit:
+    """BV on ``num_qubits`` qubits (``num_qubits - 1`` input + 1 ancilla).
+
+    ``secret`` is an optional bitstring of length ``num_qubits - 1``;
+    defaults to all ones.
+    """
+    if num_qubits < 2:
+        raise ValueError(f"BV needs >= 2 qubits, got {num_qubits}")
+    num_inputs = num_qubits - 1
+    if secret is None:
+        secret = "1" * num_inputs
+    if len(secret) != num_inputs or set(secret) - {"0", "1"}:
+        raise ValueError(f"secret must be {num_inputs} bits, got {secret!r}")
+
+    circuit = QuantumCircuit(num_qubits, name=f"bv-{num_qubits}")
+    ancilla = num_qubits - 1
+    for q in range(num_inputs):
+        circuit.h(q)
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cx(q, ancilla)
+    for q in range(num_inputs):
+        circuit.h(q)
+    return circuit

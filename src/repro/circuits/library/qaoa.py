@@ -1,0 +1,40 @@
+"""QAOA MaxCut ansatz [35]."""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qaoa_maxcut(
+    num_qubits: int,
+    p: int = 1,
+    gamma: float = 0.7,
+    beta: float = 0.3,
+    edges: list = None,
+) -> QuantumCircuit:
+    """QAOA level-``p`` MaxCut circuit.
+
+    Defaults to the ring graph (every qubit coupled to its successor),
+    the standard 4-qubit benchmark instance.
+    """
+    if num_qubits < 2:
+        raise ValueError(f"QAOA needs >= 2 qubits, got {num_qubits}")
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if edges is None:
+        edges = [(q, (q + 1) % num_qubits) for q in range(num_qubits)]
+
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa-{num_qubits}")
+    for q in range(num_qubits):
+        circuit.h(q)
+    for _layer in range(p):
+        for a, b in edges:
+            circuit.rzz(a, b, 2.0 * gamma)
+        for q in range(num_qubits):
+            circuit.rx(q, 2.0 * beta)
+    # Final basis alignment commonly used before sampling.
+    for q in range(num_qubits):
+        circuit.rz(q, math.pi / 4.0)
+    return circuit

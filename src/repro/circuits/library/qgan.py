@@ -1,0 +1,39 @@
+"""QGAN generator ansatz [37].
+
+Hardware-efficient layered ansatz: per-layer RY rotations followed by a
+CX entangling ring — the generator circuit shape used in quantum GAN
+training experiments.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qgan_ansatz(num_qubits: int, layers: int = 2, seed: int = 7) -> QuantumCircuit:
+    """QGAN generator with deterministic pseudo-random angles.
+
+    Angles come from a tiny LCG seeded by ``seed`` so circuits are fully
+    reproducible without dragging numpy into the IR layer.
+    """
+    if num_qubits < 2:
+        raise ValueError(f"QGAN needs >= 2 qubits, got {num_qubits}")
+    if layers < 1:
+        raise ValueError(f"layers must be >= 1, got {layers}")
+
+    state = seed & 0x7FFFFFFF
+
+    def next_angle() -> float:
+        nonlocal state
+        state = (1103515245 * state + 12345) % (1 << 31)
+        return 2.0 * 3.141592653589793 * state / float(1 << 31)
+
+    circuit = QuantumCircuit(num_qubits, name=f"qgan-{num_qubits}")
+    for _layer in range(layers):
+        for q in range(num_qubits):
+            circuit.ry(q, next_angle())
+        for q in range(num_qubits):
+            circuit.cx(q, (q + 1) % num_qubits)
+    for q in range(num_qubits):
+        circuit.ry(q, next_angle())
+    return circuit

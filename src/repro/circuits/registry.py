@@ -1,0 +1,38 @@
+"""Benchmark registry: look circuits up by the paper's names."""
+
+from __future__ import annotations
+
+from repro.circuits.library import (
+    bernstein_vazirani,
+    ising_chain,
+    qaoa_maxcut,
+    qgan_ansatz,
+)
+
+#: Benchmark names in the order Fig. 8 presents them.
+PAPER_BENCHMARKS = ["bv-4", "bv-9", "bv-16", "qaoa-4", "ising-4", "qgan-4", "qgan-9"]
+
+_FAMILIES = {
+    "bv": bernstein_vazirani,
+    "qaoa": qaoa_maxcut,
+    "ising": ising_chain,
+    "qgan": qgan_ansatz,
+}
+
+
+def get_benchmark(name: str):
+    """Build a benchmark circuit from a ``family-n`` name, e.g. ``"bv-9"``."""
+    key = name.strip().lower()
+    if "-" not in key:
+        raise KeyError(f"benchmark names look like 'bv-4', got {name!r}")
+    family, _, size = key.partition("-")
+    if family not in _FAMILIES:
+        raise KeyError(
+            f"unknown benchmark family {family!r}; "
+            f"available: {', '.join(sorted(_FAMILIES))}"
+        )
+    try:
+        num_qubits = int(size)
+    except ValueError:
+        raise KeyError(f"benchmark size must be an integer, got {name!r}")
+    return _FAMILIES[family](num_qubits)

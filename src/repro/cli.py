@@ -1,0 +1,151 @@
+"""Command-line interface: run flows and regenerate the paper's tables.
+
+Examples::
+
+    python -m repro topologies
+    python -m repro flow falcon --engine qgdp --render
+    python -m repro fidelity aspen11 --benchmarks bv-4 qaoa-4 --seeds 10
+    python -m repro tables --which fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.circuits import PAPER_BENCHMARKS
+from repro.core.config import QGDPConfig
+from repro.core.pipeline import run_flow
+from repro.evaluation import (
+    EvaluationConfig,
+    evaluate_engines,
+    evaluate_fidelity,
+    format_fig8,
+    format_fig9,
+    format_table2,
+    format_table3,
+)
+from repro.legalization import PAPER_ENGINE_ORDER
+from repro.topologies import PAPER_TOPOLOGIES, available_topologies, get_topology
+from repro.visualization import render_layout, save_layout_json
+
+
+def _cmd_topologies(_args) -> int:
+    for name in available_topologies():
+        topo = get_topology(name)
+        print(
+            f"{name:10s} {topo.num_qubits:4d} qubits  {topo.num_edges:4d} "
+            f"resonators  - {topo.description}"
+        )
+    return 0
+
+
+def _cmd_benchmarks(_args) -> int:
+    for name in PAPER_BENCHMARKS:
+        print(name)
+    return 0
+
+
+def _cmd_flow(args) -> int:
+    config = QGDPConfig(seed=args.seed)
+    flow, result = run_flow(
+        args.topology,
+        engine=args.engine,
+        detailed=not args.no_dp,
+        config=config,
+    )
+    for stage in result.stages:
+        summary = ", ".join(
+            f"{key}={stage.metrics[key]}"
+            for key in ("iedge", "crossings", "ph_percent", "hq")
+            if key in stage.metrics
+        )
+        print(f"[{stage.stage}] {stage.runtime_s:.2f}s  {summary}")
+    if args.render:
+        print(render_layout(flow.netlist, flow.grid))
+    if args.json:
+        save_layout_json(flow.netlist, args.json)
+        print(f"layout written to {args.json}")
+    violations = result.final.metrics.get("legality_violations", 0)
+    return 0 if violations == 0 else 1
+
+
+def _cmd_fidelity(args) -> int:
+    eval_config = EvaluationConfig(
+        num_seeds=args.seeds, config=QGDPConfig(seed=args.seed)
+    )
+    results = evaluate_fidelity(
+        [args.topology], args.benchmarks, args.engines, eval_config
+    )
+    print(
+        format_fig8(results, [args.topology], args.benchmarks, args.engines)
+    )
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    eval_config = EvaluationConfig(config=QGDPConfig(seed=args.seed))
+    evaluations = {
+        name: evaluate_engines(
+            name, PAPER_ENGINE_ORDER, eval_config, with_dp_for=("qgdp",)
+        )
+        for name in args.topologies
+    }
+    if args.which in ("fig9", "all"):
+        print(format_fig9(evaluations, args.topologies, PAPER_ENGINE_ORDER))
+    if args.which in ("table2", "all"):
+        print(format_table2(evaluations, args.topologies, PAPER_ENGINE_ORDER))
+    if args.which in ("table3", "all"):
+        print(format_table3(evaluations, args.topologies))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The qGDP CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="qGDP quantum legalization & detailed placement",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topologies", help="list available device topologies")
+    sub.add_parser("benchmarks", help="list NISQ benchmark circuits")
+
+    flow = sub.add_parser("flow", help="run the GP -> LG -> DP flow")
+    flow.add_argument("topology", choices=available_topologies() + ["all"])
+    flow.add_argument("--engine", default="qgdp", choices=PAPER_ENGINE_ORDER)
+    flow.add_argument("--no-dp", action="store_true", help="stop after LG")
+    flow.add_argument("--render", action="store_true", help="print ASCII layout")
+    flow.add_argument("--json", metavar="PATH", help="export layout JSON")
+    flow.add_argument("--seed", type=int, default=QGDPConfig().seed)
+
+    fid = sub.add_parser("fidelity", help="fidelity sweep on one topology")
+    fid.add_argument("topology", choices=available_topologies())
+    fid.add_argument("--benchmarks", nargs="+", default=["bv-4", "qaoa-4"])
+    fid.add_argument("--engines", nargs="+", default=list(PAPER_ENGINE_ORDER))
+    fid.add_argument("--seeds", type=int, default=10)
+    fid.add_argument("--seed", type=int, default=QGDPConfig().seed)
+
+    tables = sub.add_parser("tables", help="regenerate Fig. 9 / Tables II-III")
+    tables.add_argument(
+        "--which", default="all", choices=["fig9", "table2", "table3", "all"]
+    )
+    tables.add_argument(
+        "--topologies", nargs="+", default=list(PAPER_TOPOLOGIES)
+    )
+    tables.add_argument("--seed", type=int, default=QGDPConfig().seed)
+    return parser
+
+
+_HANDLERS = {
+    "topologies": _cmd_topologies,
+    "benchmarks": _cmd_benchmarks,
+    "flow": _cmd_flow,
+    "fidelity": _cmd_fidelity,
+    "tables": _cmd_tables,
+}
+
+
+def main(argv: list = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)

@@ -1,0 +1,40 @@
+"""ASAP scheduling of routed circuits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Schedule:
+    """Timing information for a routed (physical) gate list.
+
+    ``busy_ns`` maps physical qubit → time spent executing gates;
+    ``duration_ns`` is the makespan; idle time per qubit is
+    ``duration_ns - busy_ns[q]`` for active qubits.
+    """
+
+    duration_ns: float
+    busy_ns: dict = field(default_factory=dict)
+    gate_start_ns: list = field(default_factory=list)
+
+    def idle_ns(self, qubit: int) -> float:
+        """Idle time of an active qubit within the makespan."""
+        return self.duration_ns - self.busy_ns.get(qubit, 0.0)
+
+
+def schedule(physical_gates: list) -> Schedule:
+    """ASAP schedule: each gate starts when all of its qubits are free."""
+    ready = {}
+    busy = {}
+    starts = []
+    makespan = 0.0
+    for gate in physical_gates:
+        start = max((ready.get(q, 0.0) for q in gate.qubits), default=0.0)
+        end = start + gate.duration_ns
+        starts.append(start)
+        for q in gate.qubits:
+            ready[q] = end
+            busy[q] = busy.get(q, 0.0) + gate.duration_ns
+        makespan = max(makespan, end)
+    return Schedule(duration_ns=makespan, busy_ns=busy, gate_start_ns=starts)

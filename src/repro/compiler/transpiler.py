@@ -1,0 +1,89 @@
+"""Transpiler facade: map → route → schedule → statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.compiler.mapping import greedy_mapping, random_mapping
+from repro.compiler.routing import route_circuit
+from repro.compiler.scheduling import Schedule, schedule
+from repro.topologies.base import Topology
+
+
+@dataclass
+class TranspiledCircuit:
+    """A routed, scheduled circuit plus the statistics the noise model needs."""
+
+    name: str
+    topology_name: str
+    initial_mapping: dict
+    final_mapping: dict
+    physical_gates: list
+    timing: Schedule
+    gates_1q: dict = field(default_factory=dict)  # physical qubit -> count
+    gates_2q: dict = field(default_factory=dict)
+    active_edges: set = field(default_factory=set)  # resonators used by 2q gates
+
+    @property
+    def active_qubits(self) -> set:
+        """Physical qubits the program actually touches."""
+        return set(self.gates_1q) | set(self.gates_2q)
+
+    @property
+    def num_swaps_cx(self) -> int:
+        """Total CX count (including SWAP decompositions)."""
+        return sum(self.gates_2q.values()) // 2
+
+    @property
+    def duration_ns(self) -> float:
+        """Schedule makespan."""
+        return self.timing.duration_ns
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    topology: Topology,
+    seed: int = None,
+    initial_mapping: dict = None,
+) -> TranspiledCircuit:
+    """Compile a logical circuit onto a device.
+
+    ``initial_mapping`` wins when given; otherwise a seeded random mapping
+    (the paper's protocol) when ``seed`` is set, else the greedy mapping.
+    """
+    if initial_mapping is None:
+        if seed is not None:
+            initial_mapping = random_mapping(circuit, topology, seed)
+        else:
+            initial_mapping = greedy_mapping(circuit, topology)
+
+    physical_gates, final_mapping = route_circuit(
+        circuit, topology, initial_mapping
+    )
+    timing = schedule(physical_gates)
+
+    gates_1q = {}
+    gates_2q = {}
+    active_edges = set()
+    for gate in physical_gates:
+        if gate.num_qubits == 1:
+            q = gate.qubits[0]
+            gates_1q[q] = gates_1q.get(q, 0) + 1
+        else:
+            a, b = gate.qubits
+            for q in (a, b):
+                gates_2q[q] = gates_2q.get(q, 0) + 1
+            active_edges.add((min(a, b), max(a, b)))
+
+    return TranspiledCircuit(
+        name=circuit.name,
+        topology_name=topology.name,
+        initial_mapping=dict(initial_mapping),
+        final_mapping=final_mapping,
+        physical_gates=physical_gates,
+        timing=timing,
+        gates_1q=gates_1q,
+        gates_2q=gates_2q,
+        active_edges=active_edges,
+    )

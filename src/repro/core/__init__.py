@@ -1,0 +1,18 @@
+"""End-to-end qGDP flow: configuration, pipeline, and stage reports."""
+
+from repro.core.config import QGDPConfig
+from repro.core.result import StageReport, FlowResult
+
+__all__ = ["QGDPConfig", "StageReport", "FlowResult", "QGDPFlow", "run_flow"]
+
+
+def __getattr__(name: str):
+    # Lazy import: the pipeline pulls in every stage (legalization,
+    # detailed placement, routing); importing it here would make
+    # ``repro.core.config`` unimportable during partial builds and would
+    # slow down light-weight users of the config alone.
+    if name in ("QGDPFlow", "run_flow"):
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,47 @@
+"""Stage reports and the end-to-end flow result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageReport:
+    """Metrics snapshot after one flow stage (GP, LG, DP).
+
+    ``positions`` is a netlist snapshot (node id → (x, y)) so layouts can
+    be compared or restored; ``metrics`` holds stage-appropriate numbers
+    (hpwl, displacement, Ph, cluster counts, runtimes...).
+    """
+
+    stage: str
+    runtime_s: float
+    positions: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    def metric(self, key: str, default=None):
+        """Convenience accessor into ``metrics``."""
+        return self.metrics.get(key, default)
+
+
+@dataclass
+class FlowResult:
+    """Everything a qGDP flow run produced."""
+
+    topology_name: str
+    engine: str
+    stages: list = field(default_factory=list)
+
+    def stage(self, name: str) -> StageReport:
+        """Look a stage up by name (e.g. ``"qubit_lg"``)."""
+        for report in self.stages:
+            if report.stage == name:
+                return report
+        raise KeyError(f"no stage {name!r} in flow result")
+
+    @property
+    def final(self) -> StageReport:
+        """The last completed stage."""
+        if not self.stages:
+            raise ValueError("flow has no stages")
+        return self.stages[-1]

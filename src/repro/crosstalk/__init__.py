@@ -1,0 +1,37 @@
+"""Crosstalk error models and the program fidelity estimator (Eq. 7).
+
+Three error families, following the paper's Section IV metrics:
+
+* εq — per-qubit gate and decoherence error (1q/2q gate infidelities plus
+  T1/T2 decay over the schedule makespan);
+* εg — Rabi-oscillation crosstalk between qubit pairs in spatial violation
+  (Eq. 8), driven by an effective coupling that grows as the gap shrinks
+  and the detuning closes;
+* εe — resonator crosstalk from airbridge crossings (3.5 fF parasitic
+  capacitance per crossing) and from spatially violating, insufficiently
+  detuned resonator pairs.
+
+Only actively engaged qubits and resonators contribute (paper note).
+"""
+
+from repro.crosstalk.parameters import NoiseParameters, DEFAULT_NOISE
+from repro.crosstalk.errors import (
+    qubit_error,
+    rabi_crosstalk_error,
+    effective_coupling_ghz,
+    crossing_error,
+    resonator_pair_error,
+)
+from repro.crosstalk.fidelity import program_fidelity, FidelityBreakdown
+
+__all__ = [
+    "NoiseParameters",
+    "DEFAULT_NOISE",
+    "qubit_error",
+    "rabi_crosstalk_error",
+    "effective_coupling_ghz",
+    "crossing_error",
+    "resonator_pair_error",
+    "program_fidelity",
+    "FidelityBreakdown",
+]

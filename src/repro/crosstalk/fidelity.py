@@ -1,0 +1,158 @@
+"""The Eq. 7 program fidelity estimator.
+
+    F = Π_{q∈Q} (1 - εq) · Π_{g∈G} (1 - εg) · Π_{e∈E} (1 - εe)
+
+Only actively engaged components contribute: εq runs over physical qubits
+the transpiled program touches; εg over spatially violating qubit pairs
+with at least one active member; εe over crossings and violating resonator
+pairs involving at least one active resonator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import QGDPConfig
+from repro.compiler.transpiler import TranspiledCircuit
+from repro.crosstalk.errors import (
+    crossing_error,
+    qubit_error,
+    rabi_crosstalk_error,
+    resonator_pair_error,
+)
+from repro.crosstalk.parameters import DEFAULT_NOISE, NoiseParameters
+from repro.frequency.hotspots import hotspot_pairs
+from repro.geometry import gap_between
+from repro.metrics.legality import qubit_spacing_violations
+from repro.netlist.netlist import QuantumNetlist
+from repro.routing.crossings import CrossingReport
+
+
+@dataclass
+class FidelityBreakdown:
+    """Eq. 7 factors, separable for analysis."""
+
+    fidelity: float
+    qubit_factor: float
+    qubit_crosstalk_factor: float
+    resonator_factor: float
+    num_violating_pairs: int
+    num_active_crossings: int
+
+
+def program_fidelity(
+    netlist: QuantumNetlist,
+    transpiled: TranspiledCircuit,
+    crossings: CrossingReport,
+    config: QGDPConfig = None,
+    params: NoiseParameters = DEFAULT_NOISE,
+    hotspots: list = None,
+    violations: list = None,
+) -> FidelityBreakdown:
+    """Estimate worst-case program fidelity on the current layout.
+
+    ``crossings`` comes from :func:`repro.routing.crossings.count_crossings`
+    on the same layout; ``hotspots`` / ``violations`` optionally reuse
+    precomputed :func:`~repro.frequency.hotspots.hotspot_pairs` /
+    :func:`~repro.metrics.legality.qubit_spacing_violations` results so
+    seed sweeps do not recompute layout-level analysis.
+    """
+    config = config or QGDPConfig()
+    active_qubits = transpiled.active_qubits
+    active_edges = transpiled.active_edges
+    duration = transpiled.duration_ns
+
+    # -- εq over active qubits ------------------------------------------
+    # Decoherence charges each qubit its busy time plus a fraction of its
+    # idle window: idling qubits dephase, but echo/dynamical-decoupling
+    # keeps idle decay well below busy decay on real devices.
+    qubit_factor = 1.0
+    for q in active_qubits:
+        busy = transpiled.timing.busy_ns.get(q, 0.0)
+        idle = max(0.0, duration - busy)
+        eps = qubit_error(
+            transpiled.gates_1q.get(q, 0),
+            transpiled.gates_2q.get(q, 0),
+            busy + params.idle_decay_fraction * idle,
+            params,
+        )
+        qubit_factor *= 1.0 - eps
+
+    # -- εg over violating qubit pairs -----------------------------------
+    qubit_crosstalk_factor = 1.0
+    violating = (
+        violations
+        if violations is not None
+        else qubit_spacing_violations(netlist, config.min_qubit_spacing)
+    )
+    num_pairs = 0
+    for violation in violating:
+        qa = netlist.qubit(violation.id_a[1])
+        qb = netlist.qubit(violation.id_b[1])
+        if qa.index not in active_qubits and qb.index not in active_qubits:
+            continue
+        num_pairs += 1
+        eps = rabi_crosstalk_error(
+            gap_between(qa.rect, qb.rect),
+            qa.frequency,
+            qb.frequency,
+            duration,
+            config.delta_c,
+            params,
+        )
+        qubit_crosstalk_factor *= 1.0 - eps
+
+    # -- εe: crossings on active resonators --------------------------------
+    resonator_factor = 1.0
+    num_active_crossings = 0
+    for key, bridged in crossings.bridged_blocks.items():
+        for owner in bridged:
+            other_key = owner[1]
+            if key not in active_edges and other_key not in active_edges:
+                continue
+            num_active_crossings += 1
+            resonator_factor *= 1.0 - crossing_error(
+                netlist.resonator(*key).frequency,
+                netlist.resonator(*other_key).frequency,
+                duration,
+                config.delta_c,
+                params,
+                wire_to_wire=False,
+            )
+    for (key_a, key_b), count in crossings.pair_crossings.items():
+        if key_a not in active_edges and key_b not in active_edges:
+            continue
+        num_active_crossings += count
+        eps = crossing_error(
+            netlist.resonator(*key_a).frequency,
+            netlist.resonator(*key_b).frequency,
+            duration,
+            config.delta_c,
+            params,
+        )
+        resonator_factor *= (1.0 - eps) ** count
+
+    # -- εe: spatially violating resonator pairs ---------------------------
+    # Trace-exposure hotspots arrive already aggregated per resonator
+    # pair; each contributes one parasitic coupling (and one εe).
+    if hotspots is None:
+        hotspots = hotspot_pairs(netlist, config.reach, config.delta_c)
+    for pair in hotspots:
+        if pair.id_a[0] != "e" or pair.id_b[0] != "e":
+            continue
+        key_a, key_b = pair.id_a[1], pair.id_b[1]
+        if key_a not in active_edges and key_b not in active_edges:
+            continue
+        resonator_factor *= 1.0 - resonator_pair_error(
+            pair.contribution, duration, params
+        )
+
+    fidelity = qubit_factor * qubit_crosstalk_factor * resonator_factor
+    return FidelityBreakdown(
+        fidelity=fidelity,
+        qubit_factor=qubit_factor,
+        qubit_crosstalk_factor=qubit_crosstalk_factor,
+        resonator_factor=resonator_factor,
+        num_violating_pairs=num_pairs,
+        num_active_crossings=num_active_crossings,
+    )

@@ -1,0 +1,60 @@
+"""Physical noise parameters.
+
+Representative published values for fixed-frequency transmon devices; the
+paper's own calibration data is not public, so these are the documented
+substitution (see DESIGN.md).  All frequencies are GHz, times ns unless
+suffixed otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoiseParameters:
+    """Constants feeding the Eq. 7 fidelity estimator.
+
+    Parameters
+    ----------
+    t1_us, t2_us:
+        Relaxation and dephasing times (µs).
+    error_1q, error_2q:
+        Per-gate infidelities of native 1q / 2q gates.
+    g0_violation_ghz:
+        Effective qubit-qubit coupling at zero gap (direct capacitive
+        coupling of touching pads), GHz.  Decays with the gap.
+    gap_decay_lb:
+        Exponential decay length of the coupling with edge gap, in
+        standard-cell pitches.
+    cross_capacitance_ff:
+        Parasitic capacitance per airbridge crossing (3.5 fF, from the
+        paper's AWR Microwave Office extraction).
+    g_per_ff_ghz:
+        Coupling per femtofarad for crossing parasitics, GHz/fF.
+    g_adjacency_ghz:
+        Coupling per unit hotspot contribution (adjacency-length ×
+        proximity, Eq. 4 terms) for spatially violating resonator pairs.
+    detuning_floor:
+        Residual coupling fraction for well-detuned pairs (dispersive
+        leakage never vanishes entirely).
+    idle_decay_fraction:
+        Fraction of a qubit's idle window charged as decoherence time
+        (echo sequences suppress idle dephasing below busy-time decay).
+    """
+
+    t1_us: float = 100.0
+    t2_us: float = 80.0
+    error_1q: float = 1.0e-3
+    error_2q: float = 8.0e-3
+    g0_violation_ghz: float = 0.004
+    gap_decay_lb: float = 0.6
+    cross_capacitance_ff: float = 3.5
+    g_per_ff_ghz: float = 7.0e-5
+    g_adjacency_ghz: float = 2.5e-5
+    detuning_floor: float = 0.05
+    idle_decay_fraction: float = 0.15
+
+
+#: Module-level default used across the evaluation harness.
+DEFAULT_NOISE = NoiseParameters()

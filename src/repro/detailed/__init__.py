@@ -1,0 +1,19 @@
+"""Detailed placement: window-based rip-up and re-place (Algorithm 2).
+
+After legalization, the detail placer scans for resonators that are either
+non-unified (|Ce| > 1) or sitting in a frequency hotspot (He > 0), builds
+a processing window around each together with its adjacent resonators,
+re-places them along maze-routed paths, and keeps the new window layout
+only when it does not regress cluster count or hotspot score.
+"""
+
+from repro.detailed.windows import Window, find_violations, build_window
+from repro.detailed.placer import DetailedPlacer, DetailedPlacementResult
+
+__all__ = [
+    "Window",
+    "find_violations",
+    "build_window",
+    "DetailedPlacer",
+    "DetailedPlacementResult",
+]

@@ -1,0 +1,232 @@
+"""The qGDP detailed placer (Algorithm 2, Fig. 7).
+
+For each flagged resonator the placer rips its blocks out of the bin grid,
+maze-routes a fresh corridor from qubit_i to qubit_j inside the processing
+window (avoiding foreign blocks, steered away from near-resonant
+components by an extra cost), lays the blocks contiguously along that
+corridor, and grows any remainder with the Algorithm-1 adjacency rule.
+The new window layout is kept only when neither the window's cluster count
+nor its hotspot score regresses — otherwise everything is restored
+(Algorithm 2 lines 7-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import QGDPConfig
+from repro.detailed.windows import build_window, find_violations
+from repro.frequency.hotspots import resonator_hotspots
+from repro.frequency.proximity import tau
+from repro.legalization.bins import BinGrid
+from repro.netlist.clusters import cluster_count
+from repro.netlist.netlist import QuantumNetlist
+from repro.routing.crossings import resonator_crossings
+from repro.routing.maze import MazeRouter
+
+
+@dataclass
+class DetailedPlacementResult:
+    """Summary of one detailed-placement run."""
+
+    flagged: int
+    attempted: int
+    accepted: int
+    reverted: int
+    clusters_before: int
+    clusters_after: int
+
+
+class DetailedPlacer:
+    """Window-based rip-up-and-re-place detail placer."""
+
+    def __init__(self, config: QGDPConfig = None, halo: int = 2) -> None:
+        self.config = config or QGDPConfig()
+        self.halo = halo
+
+    # -- helpers -----------------------------------------------------------
+    def _window_clusters(self, netlist, keys) -> int:
+        return sum(
+            cluster_count(netlist.resonator(*k), self.config.lb) for k in keys
+        )
+
+    def _window_hotspots(self, netlist, keys) -> float:
+        scores = resonator_hotspots(
+            netlist, self.config.reach, self.config.delta_c, lb=self.config.lb
+        )
+        return sum(scores.get(k, 0.0) for k in keys)
+
+    def _window_crossings(self, netlist, keys, bins) -> int:
+        return sum(
+            resonator_crossings(netlist, netlist.resonator(*k), bins)
+            for k in keys
+        )
+
+    def _adjacent_sites(self, grid, rect) -> set:
+        covered = set(grid.sites_covered(rect))
+        out = set()
+        for col, row in covered:
+            for site in grid.neighbors4(col, row):
+                if site not in covered:
+                    out.add(site)
+        return out
+
+    def _frequency_cost(self, netlist, bins, freq: float):
+        """Extra per-site cost near close-frequency components."""
+        grid = bins.grid
+        delta_c = self.config.delta_c
+
+        def cost(site) -> float:
+            penalty = 0.0
+            for neighbor in grid.neighbors4(*site):
+                owner = bins.occupant(*neighbor)
+                if owner is None:
+                    continue
+                if owner[0] == "q":
+                    other = netlist.qubit(owner[1]).frequency
+                else:
+                    other = netlist.resonator(*owner[1]).frequency
+                penalty += 2.0 * tau(freq, other, delta_c)
+            return penalty
+
+        return cost
+
+    def _replace_resonator(self, netlist, bins, resonator, window) -> bool:
+        """Rip up and re-place one resonator inside its window.
+
+        Returns True when a complete re-placement was committed (caller
+        still decides accept/revert on metrics); False when no feasible
+        placement existed (positions untouched).
+        """
+        grid = bins.grid
+        old_sites = {}
+        for block in resonator.blocks:
+            site = grid.site_of(block.center)
+            old_sites[block.ordinal] = (site, (block.x, block.y))
+            bins.release(*site)
+
+        qa = netlist.qubit(resonator.qi)
+        qb = netlist.qubit(resonator.qj)
+        router = MazeRouter(bins, crossing_cost=25.0)
+        route = router.route(
+            sources=self._adjacent_sites(grid, qa.rect),
+            targets=self._adjacent_sites(grid, qb.rect),
+            own_key=resonator.key,
+            window=window.bounds,
+            extra_cost=self._frequency_cost(netlist, bins, resonator.frequency),
+        )
+
+        ordered_sites = []
+        if route is not None:
+            ordered_sites = [s for s in route.path if bins.is_free(*s)]
+
+        placed = []
+        frontier = set()
+        for block in resonator.blocks:
+            site = None
+            while ordered_sites:
+                candidate = ordered_sites.pop(0)
+                if bins.is_free(*candidate):
+                    site = candidate
+                    break
+            if site is None and frontier:
+                target = grid.site_of(block.center)
+                site = min(
+                    frontier,
+                    key=lambda s: (
+                        (s[0] - target[0]) ** 2 + (s[1] - target[1]) ** 2,
+                        s[1],
+                        s[0],
+                    ),
+                )
+            if site is None:
+                # No corridor and no frontier: give up, restore below.
+                break
+            bins.occupy(site[0], site[1], block.node_id)
+            frontier.discard(site)
+            center = grid.site_center(*site)
+            block.move_to(center.x, center.y)
+            placed.append((block, site))
+            for neighbor in bins.free_neighbors(*site):
+                if window.contains_site(neighbor):
+                    frontier.add(neighbor)
+            frontier = {s for s in frontier if bins.is_free(*s)}
+
+        if len(placed) < resonator.num_blocks:
+            for block, site in placed:
+                bins.release(*site)
+            self._restore(bins, resonator, old_sites)
+            return False
+        return True
+
+    @staticmethod
+    def _restore(bins, resonator, old_sites) -> None:
+        for block in resonator.blocks:
+            site, (x, y) = old_sites[block.ordinal]
+            bins.occupy(site[0], site[1], block.node_id)
+            block.move_to(x, y)
+
+    # -- main entry ----------------------------------------------------------
+    def run(self, netlist: QuantumNetlist, bins: BinGrid) -> DetailedPlacementResult:
+        """Run Algorithm 2 over the whole layout in place."""
+        cfg = self.config
+        flagged = find_violations(
+            netlist, cfg.lb, cfg.reach, cfg.delta_c, bins=bins
+        )
+        clusters_before_total = sum(
+            cluster_count(r, cfg.lb) for r in netlist.resonators
+        )
+        attempted = accepted = reverted = 0
+
+        for key in flagged:
+            resonator = netlist.resonator(*key)
+            window = build_window(netlist, bins.grid, key, self.halo)
+            clusters_before = self._window_clusters(netlist, window.resonator_keys)
+            hotspots_before = self._window_hotspots(netlist, window.resonator_keys)
+            crossings_before = self._window_crossings(
+                netlist, window.resonator_keys, bins
+            )
+            old_sites = {
+                b.ordinal: (bins.grid.site_of(b.center), (b.x, b.y))
+                for b in resonator.blocks
+            }
+
+            attempted += 1
+            if not self._replace_resonator(netlist, bins, resonator, window):
+                reverted += 1
+                continue
+
+            clusters_after = self._window_clusters(netlist, window.resonator_keys)
+            hotspots_after = self._window_hotspots(netlist, window.resonator_keys)
+            crossings_after = self._window_crossings(
+                netlist, window.resonator_keys, bins
+            )
+            improved = (
+                clusters_after <= clusters_before
+                and hotspots_after <= hotspots_before + 1e-9
+                and crossings_after <= crossings_before
+                and (
+                    clusters_after < clusters_before
+                    or hotspots_after < hotspots_before - 1e-9
+                    or crossings_after < crossings_before
+                )
+            )
+            if improved:
+                accepted += 1
+            else:
+                for block in resonator.blocks:
+                    bins.release(*bins.grid.site_of(block.center))
+                self._restore(bins, resonator, old_sites)
+                reverted += 1
+
+        clusters_after_total = sum(
+            cluster_count(r, cfg.lb) for r in netlist.resonators
+        )
+        return DetailedPlacementResult(
+            flagged=len(flagged),
+            attempted=attempted,
+            accepted=accepted,
+            reverted=reverted,
+            clusters_before=clusters_before_total,
+            clusters_after=clusters_after_total,
+        )

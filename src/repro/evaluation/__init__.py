@@ -1,0 +1,27 @@
+"""Evaluation harness reproducing the paper's tables and figures."""
+
+from repro.evaluation.harness import (
+    EvaluationConfig,
+    evaluate_fidelity,
+    evaluate_engines,
+    FidelityCell,
+    EngineEvaluation,
+)
+from repro.evaluation.tables import (
+    format_fig8,
+    format_fig9,
+    format_table2,
+    format_table3,
+)
+
+__all__ = [
+    "EvaluationConfig",
+    "evaluate_fidelity",
+    "evaluate_engines",
+    "FidelityCell",
+    "EngineEvaluation",
+    "format_fig8",
+    "format_fig9",
+    "format_table2",
+    "format_table3",
+]

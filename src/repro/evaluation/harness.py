@@ -1,0 +1,194 @@
+"""Evaluation harness: topology × benchmark × engine × mapping-seed sweeps.
+
+The paper's protocol (Section V): for every topology and legalization
+strategy, the same GP solution is legalized, then each benchmark is mapped
+50 times with random initial placements and the mean Eq. 7 fidelity is
+reported.  Layout-level metrics (Ph, HQ, X, Iedge, runtimes) come from the
+same legalized layouts.
+
+The harness caches aggressively: GP runs once per topology, transpilations
+once per (topology, benchmark, seed) — they do not depend on the engine —
+and layout analysis (violations, hotspots, crossings) once per
+(topology, engine).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.circuits.registry import get_benchmark
+from repro.compiler.transpiler import transpile
+from repro.core.config import QGDPConfig
+from repro.crosstalk.fidelity import program_fidelity
+from repro.crosstalk.parameters import DEFAULT_NOISE, NoiseParameters
+from repro.detailed.placer import DetailedPlacer
+from repro.frequency.hotspots import hotspot_pairs, hotspot_report
+from repro.legalization.engines import get_engine, run_legalization
+from repro.metrics.legality import qubit_spacing_violations
+from repro.metrics.report import layout_metrics
+from repro.placement.builder import build_layout
+from repro.placement.global_placer import GlobalPlacer
+from repro.routing.crossings import count_crossings
+from repro.topologies.registry import get_topology
+
+
+@dataclass
+class EvaluationConfig:
+    """Knobs of the sweep (defaults mirror the paper, seeds reduced)."""
+
+    num_seeds: int = 50
+    base_seed: int = 11
+    detailed: bool = False
+    config: QGDPConfig = field(default_factory=QGDPConfig)
+    noise: NoiseParameters = field(default_factory=lambda: DEFAULT_NOISE)
+
+
+@dataclass
+class FidelityCell:
+    """Mean fidelity of one (topology, benchmark, engine) cell."""
+
+    topology: str
+    benchmark: str
+    engine: str
+    mean: float
+    minimum: float
+    maximum: float
+    samples: list = field(default_factory=list)
+
+
+@dataclass
+class EngineEvaluation:
+    """Layout-level outcome of one engine on one topology."""
+
+    topology: str
+    engine: str
+    metrics: object  # LayoutMetrics
+    qubit_time_s: float
+    resonator_time_s: float
+    dp_time_s: float = 0.0
+    dp_metrics: object = None
+
+
+def _layout_artifacts(netlist, bins, config):
+    """Per-layout analysis reused across benchmarks and seeds."""
+    return {
+        "violations": qubit_spacing_violations(netlist, config.min_qubit_spacing),
+        "hotspots": hotspot_pairs(netlist, config.reach, config.delta_c),
+        "crossings": count_crossings(netlist, bins),
+    }
+
+
+def evaluate_engines(
+    topology_name: str,
+    engines: list,
+    eval_config: EvaluationConfig = None,
+    with_dp_for: tuple = ("qgdp",),
+) -> dict:
+    """Legalize one topology with every engine; return layout evaluations.
+
+    ``with_dp_for`` lists engines that additionally get a detailed
+    placement pass (reported separately as ``dp_metrics``); the paper only
+    runs qGDP-DP on top of qGDP-LG.
+    """
+    eval_config = eval_config or EvaluationConfig()
+    cfg = eval_config.config
+    topology = get_topology(topology_name)
+    netlist, grid = build_layout(topology, cfg)
+    GlobalPlacer(cfg).run(netlist, grid, seed=cfg.seed)
+    gp_positions = netlist.snapshot()
+
+    results = {}
+    for engine_name in engines:
+        netlist.restore(gp_positions)
+        outcome = run_legalization(netlist, grid, get_engine(engine_name), cfg)
+        metrics = layout_metrics(netlist, outcome.bins, cfg)
+        evaluation = EngineEvaluation(
+            topology=topology_name,
+            engine=engine_name,
+            metrics=metrics,
+            qubit_time_s=outcome.qubit_time_s,
+            resonator_time_s=outcome.resonator_time_s,
+        )
+        if engine_name in with_dp_for:
+            t0 = time.perf_counter()
+            DetailedPlacer(cfg).run(netlist, outcome.bins)
+            evaluation.dp_time_s = time.perf_counter() - t0
+            evaluation.dp_metrics = layout_metrics(netlist, outcome.bins, cfg)
+        results[engine_name] = evaluation
+    return results
+
+
+def evaluate_fidelity(
+    topology_names: list,
+    benchmark_names: list,
+    engine_names: list,
+    eval_config: EvaluationConfig = None,
+    progress=None,
+) -> dict:
+    """Full Fig. 8 sweep.
+
+    Returns ``{(topology, benchmark, engine): FidelityCell}``.  ``progress``
+    is an optional callable ``(topology, engine) -> None`` for reporting.
+    """
+    eval_config = eval_config or EvaluationConfig()
+    cfg = eval_config.config
+    results = {}
+
+    for topo_name in topology_names:
+        topology = get_topology(topo_name)
+        netlist, grid = build_layout(topology, cfg)
+        GlobalPlacer(cfg).run(netlist, grid, seed=cfg.seed)
+        gp_positions = netlist.snapshot()
+
+        # Transpilations are engine-independent: cache per (benchmark, seed).
+        transpiled_cache = {}
+        for bench_name in benchmark_names:
+            circuit = get_benchmark(bench_name)
+            if circuit.num_qubits > topology.num_qubits:
+                continue
+            for k in range(eval_config.num_seeds):
+                seed = eval_config.base_seed + 977 * k
+                transpiled_cache[(bench_name, k)] = transpile(
+                    circuit, topology, seed=seed
+                )
+
+        for engine_name in engine_names:
+            if progress is not None:
+                progress(topo_name, engine_name)
+            netlist.restore(gp_positions)
+            outcome = run_legalization(
+                netlist, grid, get_engine(engine_name), cfg
+            )
+            if eval_config.detailed and engine_name == "qgdp":
+                DetailedPlacer(cfg).run(netlist, outcome.bins)
+            artifacts = _layout_artifacts(netlist, outcome.bins, cfg)
+
+            for bench_name in benchmark_names:
+                samples = []
+                for k in range(eval_config.num_seeds):
+                    transpiled = transpiled_cache.get((bench_name, k))
+                    if transpiled is None:
+                        continue
+                    breakdown = program_fidelity(
+                        netlist,
+                        transpiled,
+                        artifacts["crossings"],
+                        cfg,
+                        eval_config.noise,
+                        hotspots=artifacts["hotspots"],
+                        violations=artifacts["violations"],
+                    )
+                    samples.append(breakdown.fidelity)
+                if not samples:
+                    continue
+                results[(topo_name, bench_name, engine_name)] = FidelityCell(
+                    topology=topo_name,
+                    benchmark=bench_name,
+                    engine=engine_name,
+                    mean=sum(samples) / len(samples),
+                    minimum=min(samples),
+                    maximum=max(samples),
+                    samples=samples,
+                )
+    return results

@@ -1,0 +1,110 @@
+"""Formatters that print the paper's tables and figures as text.
+
+Each formatter takes harness outputs and returns a string whose rows and
+columns mirror the corresponding artifact in the paper, so bench runs can
+be compared against it side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.legalization.engines import ENGINES
+
+
+def _fmt_fidelity(value: float) -> str:
+    return "<1e-4" if value < 1e-4 else f"{value:.4f}"
+
+
+def format_fig8(results: dict, topologies: list, benchmarks: list, engines: list) -> str:
+    """Fig. 8: fidelity per topology × benchmark × engine (plus the mean)."""
+    lines = []
+    for topo in topologies:
+        lines.append(f"== {topo} ==")
+        header = f"{'engine':<10}" + "".join(f"{b:>9}" for b in benchmarks) + f"{'Mean':>9}"
+        lines.append(header)
+        for engine in engines:
+            cells = []
+            means = []
+            for bench in benchmarks:
+                cell = results.get((topo, bench, engine))
+                if cell is None:
+                    cells.append(f"{'-':>9}")
+                else:
+                    cells.append(f"{_fmt_fidelity(cell.mean):>9}")
+                    means.append(cell.mean)
+            mean = sum(means) / len(means) if means else 0.0
+            label = ENGINES[engine].display_name
+            lines.append(f"{label:<10}" + "".join(cells) + f"{_fmt_fidelity(mean):>9}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_fig9(evaluations: dict, topologies: list, engines: list) -> str:
+    """Fig. 9: Ph (%) and crossings X per topology × engine, with means."""
+    lines = []
+    for metric, title in (("ph_percent", "Ph (%)"), ("crossings", "Coupler Crosses (X)")):
+        lines.append(f"-- {title} --")
+        header = f"{'engine':<10}" + "".join(f"{t:>10}" for t in topologies) + f"{'Mean':>10}"
+        lines.append(header)
+        for engine in engines:
+            row = []
+            values = []
+            for topo in topologies:
+                ev = evaluations[topo][engine]
+                value = getattr(ev.metrics, metric)
+                values.append(float(value))
+                row.append(
+                    f"{value:>10.2f}" if metric == "ph_percent" else f"{value:>10d}"
+                )
+            mean = sum(values) / len(values)
+            label = ENGINES[engine].display_name
+            lines.append(f"{label:<10}" + "".join(row) + f"{mean:>10.2f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_table2(evaluations: dict, topologies: list, engines: list) -> str:
+    """Table II: legalization runtimes tq / te in milliseconds."""
+    lines = []
+    header = f"{'Topology':<10}"
+    for engine in engines:
+        label = ENGINES[engine].display_name
+        header += f"{label + ' tq':>14}{label + ' te':>14}"
+    lines.append(header)
+    sums = {engine: [0.0, 0.0] for engine in engines}
+    for topo in topologies:
+        row = f"{topo:<10}"
+        for engine in engines:
+            ev = evaluations[topo][engine]
+            tq_ms = ev.qubit_time_s * 1e3
+            te_ms = ev.resonator_time_s * 1e3
+            sums[engine][0] += tq_ms
+            sums[engine][1] += te_ms
+            row += f"{tq_ms:>14.2f}{te_ms:>14.2f}"
+        lines.append(row)
+    row = f"{'Mean':<10}"
+    for engine in engines:
+        row += (
+            f"{sums[engine][0] / len(topologies):>14.2f}"
+            f"{sums[engine][1] / len(topologies):>14.2f}"
+        )
+    lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table3(evaluations: dict, topologies: list) -> str:
+    """Table III: qGDP-LG vs qGDP-DP on #Cells, Iedge, X, Ph, HQ."""
+    lines = [
+        f"{'Topology':<10}{'#Cells':>8} | "
+        f"{'LG Iedge':>9}{'X':>5}{'Ph(%)':>7}{'HQ':>5} | "
+        f"{'DP Iedge':>9}{'X':>5}{'Ph(%)':>7}{'HQ':>5}"
+    ]
+    for topo in topologies:
+        ev = evaluations[topo]["qgdp"]
+        lg = ev.metrics
+        dp = ev.dp_metrics if ev.dp_metrics is not None else lg
+        lines.append(
+            f"{topo:<10}{lg.num_cells:>8} | "
+            f"{lg.iedge:>9}{lg.crossings:>5}{lg.ph_percent:>7.2f}{lg.hq:>5} | "
+            f"{dp.iedge:>9}{dp.crossings:>5}{dp.ph_percent:>7.2f}{dp.hq:>5}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Frequency planning and hotspot analysis.
+
+Fixed-frequency transmons cannot be retuned after fabrication, so crosstalk
+mitigation relies on *frequency allocation* (spread neighbouring components
+across detuned groups) and *spatial isolation* (the placement problem qGDP
+solves).  This package provides:
+
+* :mod:`repro.frequency.assignment` — graph-coloring frequency allocation
+  for qubits and resonators;
+* :mod:`repro.frequency.proximity` — the τ(ωi, ωj, Δc) proximity weight of
+  Eq. 4;
+* :mod:`repro.frequency.hotspots` — the frequency-hotspot proportion Ph,
+  the per-resonator hotspot score He, and the affected-qubit count HQ.
+"""
+
+from repro.frequency.assignment import (
+    FrequencyPlan,
+    assign_frequencies,
+    DEFAULT_QUBIT_BANDS,
+    DEFAULT_RESONATOR_BANDS,
+)
+from repro.frequency.proximity import tau
+from repro.frequency.hotspots import (
+    HotspotReport,
+    hotspot_pairs,
+    hotspot_proportion,
+    hotspot_report,
+    resonator_hotspots,
+)
+
+__all__ = [
+    "FrequencyPlan",
+    "assign_frequencies",
+    "DEFAULT_QUBIT_BANDS",
+    "DEFAULT_RESONATOR_BANDS",
+    "tau",
+    "HotspotReport",
+    "hotspot_pairs",
+    "hotspot_proportion",
+    "hotspot_report",
+    "resonator_hotspots",
+]

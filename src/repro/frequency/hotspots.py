@@ -1,0 +1,257 @@
+"""Frequency-hotspot metrics: Ph (Eq. 4), per-resonator He, and HQ.
+
+A *hotspot* is spatial proximity between exposed, nearly-resonant
+components.  Two component classes are exposed:
+
+* **qubit pads** — qubit pairs closer than the interaction reach
+  contribute ``adjacency(p_i, p_j) * decay(gap) * τ`` (the Eq. 4 terms);
+* **resonator connection traces** — a resonator's wire blocks reserve
+  *padded* area (Eq. 6 folds the padding into the block count), so block
+  regions sitting side by side are already isolated; what is exposed is
+  the connection trace joining qubit_i → clusters → qubit_j.  A unified,
+  in-channel resonator has a near-zero-length exposed trace; a scattered
+  one chords across foreign reservations.  Trace points within reach of a
+  nearly-resonant *foreign* block contribute
+  ``sample_length * decay(distance) * τ``.
+
+``Ph`` is the contribution sum normalized by total component area, as a
+percentage (Fig. 9 / Table III).  ``He`` is a resonator's share; ``HQ``
+counts qubits in any qubit-qubit hotspot plus endpoints of resonators
+with ``He > 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.frequency.proximity import DEFAULT_DELTA_C, tau
+from repro.geometry import adjacency_length, gap_between
+from repro.netlist.netlist import QuantumNetlist
+from repro.netlist.traces import resonator_trace
+
+#: Default interaction reach in layout units (site pitches).
+DEFAULT_REACH = 2.0
+
+#: Sampling step along trace segments, in units of lb.
+_TRACE_STEP = 0.5
+
+
+@dataclass(frozen=True)
+class HotspotPair:
+    """One interacting pair and its hotspot contribution.
+
+    ``id_a`` / ``id_b`` are ``("q", index)`` for qubits or ``("e", key)``
+    for resonators (trace-level aggregation).
+    """
+
+    id_a: tuple
+    id_b: tuple
+    adjacency: float
+    gap: float
+    tau_weight: float
+    contribution: float
+
+
+@dataclass
+class HotspotReport:
+    """Aggregate hotspot metrics for one layout."""
+
+    pairs: list = field(default_factory=list)
+    ph_percent: float = 0.0
+    hq: int = 0
+    per_resonator: dict = field(default_factory=dict)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of interacting (nonzero-contribution) pairs."""
+        return len(self.pairs)
+
+
+def _qubit_pairs(netlist: QuantumNetlist, reach: float, delta_c: float) -> list:
+    """Qubit-qubit hotspot pairs (rect adjacency within reach)."""
+    pairs = []
+    qubits = netlist.qubits
+    for a_pos, qa in enumerate(qubits):
+        for qb in qubits[a_pos + 1 :]:
+            gap = gap_between(qa.rect, qb.rect)
+            if gap > reach:
+                continue
+            t = tau(qa.frequency, qb.frequency, delta_c)
+            if t <= 0.0:
+                continue
+            adjacency = adjacency_length(qa.rect, qb.rect, reach)
+            if adjacency <= 0.0:
+                continue
+            decay = max(0.0, 1.0 - gap / reach)
+            contribution = adjacency * decay * t
+            if contribution > 0.0:
+                pairs.append(
+                    HotspotPair(
+                        ("q", qa.index),
+                        ("q", qb.index),
+                        adjacency,
+                        gap,
+                        t,
+                        contribution,
+                    )
+                )
+    return pairs
+
+
+def _block_index(netlist: QuantumNetlist, lb: float) -> dict:
+    """site -> (resonator_key, block) for every wire block."""
+    index = {}
+    for resonator in netlist.resonators:
+        for block in resonator.blocks:
+            col = int(block.x // lb)
+            row = int(block.y // lb)
+            index[(col, row)] = (resonator.key, block)
+    return index
+
+
+def _trace_pairs(
+    netlist: QuantumNetlist,
+    reach: float,
+    delta_c: float,
+    lb: float,
+) -> list:
+    """Trace-exposure hotspot pairs, aggregated per resonator pair."""
+    block_at = _block_index(netlist, lb)
+    radius = int(math.ceil(reach / lb))
+    contributions = {}
+    min_gap = {}
+
+    for resonator in netlist.resonators:
+        trace = resonator_trace(netlist, resonator, lb)
+        for (x1, y1), (x2, y2) in trace:
+            length = math.hypot(x2 - x1, y2 - y1)
+            steps = max(1, int(length / (_TRACE_STEP * lb)))
+            sample_len = length / steps
+            for k in range(steps + 1):
+                t_frac = k / steps
+                x = x1 + (x2 - x1) * t_frac
+                y = y1 + (y2 - y1) * t_frac
+                col = int(x // lb)
+                row = int(y // lb)
+                seen_here = set()
+                for dc in range(-radius, radius + 1):
+                    for dr in range(-radius, radius + 1):
+                        entry = block_at.get((col + dc, row + dr))
+                        if entry is None:
+                            continue
+                        other_key, block = entry
+                        if other_key == resonator.key:
+                            continue
+                        if other_key in seen_here:
+                            continue
+                        dist = math.hypot(block.x - x, block.y - y)
+                        if dist > reach:
+                            continue
+                        t = tau(
+                            resonator.frequency, block.frequency, delta_c
+                        )
+                        if t <= 0.0:
+                            continue
+                        seen_here.add(other_key)
+                        decay = max(0.0, 1.0 - dist / reach)
+                        pair = (
+                            min(resonator.key, other_key),
+                            max(resonator.key, other_key),
+                        )
+                        contributions[pair] = (
+                            contributions.get(pair, 0.0)
+                            + sample_len * decay * t
+                        )
+                        min_gap[pair] = min(min_gap.get(pair, dist), dist)
+
+    pairs = []
+    for (key_a, key_b), contribution in sorted(contributions.items()):
+        if contribution <= 0.0:
+            continue
+        fa = netlist.resonator(*key_a).frequency
+        fb = netlist.resonator(*key_b).frequency
+        pairs.append(
+            HotspotPair(
+                ("e", key_a),
+                ("e", key_b),
+                contribution,
+                min_gap[(key_a, key_b)],
+                tau(fa, fb, delta_c),
+                contribution,
+            )
+        )
+    return pairs
+
+
+def hotspot_pairs(
+    netlist: QuantumNetlist,
+    reach: float = DEFAULT_REACH,
+    delta_c: float = DEFAULT_DELTA_C,
+    lb: float = 1.0,
+) -> list:
+    """All hotspot pairs: qubit-qubit plus trace-exposure resonator pairs."""
+    pairs = _qubit_pairs(netlist, reach, delta_c)
+    pairs.extend(_trace_pairs(netlist, reach, delta_c, lb))
+    return pairs
+
+
+def hotspot_proportion(
+    netlist: QuantumNetlist,
+    reach: float = DEFAULT_REACH,
+    delta_c: float = DEFAULT_DELTA_C,
+    pairs: list = None,
+    lb: float = 1.0,
+) -> float:
+    """``Ph`` as a percentage of total component area (Eq. 4)."""
+    if pairs is None:
+        pairs = hotspot_pairs(netlist, reach, delta_c, lb)
+    total_area = sum(q.rect.area for q in netlist.qubits) + sum(
+        b.rect.area for b in netlist.wire_blocks
+    )
+    if total_area <= 0:
+        return 0.0
+    return 100.0 * sum(p.contribution for p in pairs) / total_area
+
+
+def resonator_hotspots(
+    netlist: QuantumNetlist,
+    reach: float = DEFAULT_REACH,
+    delta_c: float = DEFAULT_DELTA_C,
+    pairs: list = None,
+    lb: float = 1.0,
+) -> dict:
+    """Per-resonator hotspot score ``He``."""
+    if pairs is None:
+        pairs = hotspot_pairs(netlist, reach, delta_c, lb)
+    scores = {r.key: 0.0 for r in netlist.resonators}
+    for pair in pairs:
+        for cid in (pair.id_a, pair.id_b):
+            if cid[0] == "e":
+                scores[cid[1]] += pair.contribution
+    return scores
+
+
+def hotspot_report(
+    netlist: QuantumNetlist,
+    reach: float = DEFAULT_REACH,
+    delta_c: float = DEFAULT_DELTA_C,
+    lb: float = 1.0,
+) -> HotspotReport:
+    """Full hotspot analysis: pairs, Ph, HQ and per-resonator He."""
+    pairs = hotspot_pairs(netlist, reach, delta_c, lb)
+    per_res = resonator_hotspots(netlist, reach, delta_c, pairs, lb)
+    affected = set()
+    for pair in pairs:
+        for cid in (pair.id_a, pair.id_b):
+            if cid[0] == "q":
+                affected.add(cid[1])
+    for key, score in per_res.items():
+        if score > 0.0:
+            affected.update(key)
+    return HotspotReport(
+        pairs=pairs,
+        ph_percent=hotspot_proportion(netlist, reach, delta_c, pairs, lb),
+        hq=len(affected),
+        per_resonator=per_res,
+    )

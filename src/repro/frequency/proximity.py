@@ -1,0 +1,29 @@
+"""The frequency-proximity weight τ(ωi, ωj, Δc) of Eq. 4.
+
+Two components crosstalk strongly only when their frequencies are nearly
+resonant.  τ maps the detuning |ωi − ωj| to a weight in [0, 1]: 1 at zero
+detuning, falling linearly to 0 at the threshold Δc.  The linear ramp is
+the simplest shape consistent with the paper's description ("a function
+assessing frequency proximity according to ... predefined threshold Δc");
+the metrics only require monotonicity in the detuning.
+"""
+
+from __future__ import annotations
+
+#: Default resonance threshold Δc in GHz: components detuned by more than
+#: this are considered safely off-resonant.
+DEFAULT_DELTA_C = 0.04
+
+
+def tau(freq_i: float, freq_j: float, delta_c: float = DEFAULT_DELTA_C) -> float:
+    """Frequency-proximity weight in [0, 1].
+
+    ``tau == 1`` at exact resonance, 0 once the detuning reaches
+    ``delta_c``.  ``delta_c`` must be positive.
+    """
+    if delta_c <= 0:
+        raise ValueError(f"delta_c must be positive, got {delta_c}")
+    detuning = abs(freq_i - freq_j)
+    if detuning >= delta_c:
+        return 0.0
+    return 1.0 - detuning / delta_c

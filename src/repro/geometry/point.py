@@ -1,0 +1,44 @@
+"""2-D points and distance helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2-D point in layout coordinates.
+
+    Layout coordinates are continuous; the site grid (see
+    :class:`repro.geometry.grid.SiteGrid`) is responsible for snapping.
+    """
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean_to(self, other: "Point") -> float:
+        """Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Manhattan distance between two points."""
+    return a.manhattan_to(b)
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.euclidean_to(b)

@@ -1,0 +1,40 @@
+"""Line-segment intersection, used by the crossing counter."""
+
+from __future__ import annotations
+
+
+def _orient(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> float:
+    """Signed area orientation of triangle (a, b, c)."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def segments_intersect(
+    p1: tuple, p2: tuple, q1: tuple, q2: tuple, tol: float = 1e-9
+) -> bool:
+    """True when segment ``p1p2`` properly crosses segment ``q1q2``.
+
+    *Proper* crossing: the segments intersect at a single interior point.
+    Shared endpoints and collinear touching do NOT count — two resonator
+    traces meeting at a common qubit are not an airbridge.
+    """
+    d1 = _orient(*q1, *q2, *p1)
+    d2 = _orient(*q1, *q2, *p2)
+    d3 = _orient(*p1, *p2, *q1)
+    d4 = _orient(*p1, *p2, *q2)
+    return (
+        ((d1 > tol and d2 < -tol) or (d1 < -tol and d2 > tol))
+        and ((d3 > tol and d4 < -tol) or (d3 < -tol and d4 > tol))
+    )
+
+
+def count_pairwise_crossings(segments_a: list, segments_b: list) -> int:
+    """Number of proper intersections between two segment sets.
+
+    Each set is a list of ``((x1, y1), (x2, y2))`` tuples.
+    """
+    count = 0
+    for p1, p2 in segments_a:
+        for q1, q2 in segments_b:
+            if segments_intersect(p1, p2, q1, q2):
+                count += 1
+    return count

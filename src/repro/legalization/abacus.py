@@ -1,0 +1,168 @@
+"""Abacus standard-cell legalization [29] (classical baseline).
+
+Abacus processes cells in increasing x and inserts each into the row
+minimizing quadratic displacement; within a row, cells are organized into
+*clusters* whose optimal position is the mean of member targets, merged
+whenever neighbouring clusters would overlap (the classic PlaceRow
+recurrence).  Obstacles (qubit macros) split each row into independent
+segments.
+
+Like Tetris, Abacus is integration-blind: it optimizes displacement per
+cell and happily splits a resonator's blocks across rows and segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.legalization.bins import BinGrid
+
+
+@dataclass
+class _Cluster:
+    """A maximal run of touching unit cells within one segment.
+
+    ``cells`` holds ``(block, raw_target)`` in left-to-right order; the
+    cell at list index ``k`` sits at ``start + k``.  ``adj_sum`` maintains
+    ``Σ (raw_target_k - k)`` so the mean-optimal start is ``adj_sum / n``.
+    """
+
+    cells: list = field(default_factory=list)
+    adj_sum: float = 0.0
+
+    @property
+    def n(self) -> int:
+        return len(self.cells)
+
+    def optimal_start(self, seg_lo: float, seg_hi_excl: float) -> float:
+        """Mean-optimal start clamped so the cluster fits the segment."""
+        raw = self.adj_sum / self.n
+        return min(max(raw, seg_lo), seg_hi_excl - self.n)
+
+
+@dataclass
+class _Segment:
+    """A maximal free interval of one row: columns ``lo .. hi`` inclusive."""
+
+    lo: int
+    hi: int
+    clusters: list = field(default_factory=list)
+
+    @property
+    def capacity(self) -> int:
+        return self.hi - self.lo + 1
+
+    @property
+    def used(self) -> int:
+        return sum(c.n for c in self.clusters)
+
+    def total_cost(self) -> float:
+        """Quadratic x-displacement of every cell currently in the segment."""
+        cost = 0.0
+        for cluster in self.clusters:
+            start = cluster.optimal_start(float(self.lo), float(self.hi + 1))
+            for k, (_block, raw_target) in enumerate(cluster.cells):
+                cost += (start + k - raw_target) ** 2
+        return cost
+
+    def insert(self, block, raw_target: float) -> None:
+        """PlaceRow append: new singleton cluster, merge leftward while overlapping."""
+        self.clusters.append(_Cluster(cells=[(block, raw_target)], adj_sum=raw_target))
+        seg_lo, seg_hi = float(self.lo), float(self.hi + 1)
+        while len(self.clusters) >= 2:
+            cur = self.clusters[-1]
+            prev = self.clusters[-2]
+            if prev.optimal_start(seg_lo, seg_hi) + prev.n <= cur.optimal_start(
+                seg_lo, seg_hi
+            ) + 1e-9:
+                break
+            merged = _Cluster(
+                cells=prev.cells + cur.cells,
+                adj_sum=prev.adj_sum + cur.adj_sum - cur.n * prev.n,
+            )
+            self.clusters[-2:] = [merged]
+
+    def clone(self) -> "_Segment":
+        """Deep-enough copy for trial insertions."""
+        return _Segment(
+            self.lo,
+            self.hi,
+            [_Cluster(list(c.cells), c.adj_sum) for c in self.clusters],
+        )
+
+
+def _segments_of_row(bins: BinGrid, row: int) -> list:
+    """Maximal runs of free columns in a row."""
+    free = bins._free_rows[row]
+    segments = []
+    run_start = None
+    prev = None
+    for col in free:
+        if run_start is None:
+            run_start = col
+        elif col != prev + 1:
+            segments.append(_Segment(run_start, prev))
+            run_start = col
+        prev = col
+    if run_start is not None:
+        segments.append(_Segment(run_start, prev))
+    return segments
+
+
+def abacus_legalize(blocks: list, bins: BinGrid) -> dict:
+    """Legalize wire blocks with row-cluster Abacus.
+
+    ``bins`` must already have fixed macros blocked out.  Final positions
+    are written back to the blocks **and** committed to ``bins``; returns
+    block name → (col, row).  Raises ``RuntimeError`` when no segment can
+    host a cell.
+    """
+    grid = bins.grid
+    row_segments = [_segments_of_row(bins, r) for r in range(grid.rows)]
+    order = sorted(blocks, key=lambda b: (b.x, b.y, b.resonator_key, b.ordinal))
+
+    for block in order:
+        # A unit cell at column c has centre (c + 0.5) * lb.
+        raw_target = block.x / grid.lb - 0.5
+        target_row = grid.site_of(block.center)[1]
+        best = None  # (delta_cost, row, segment)
+        for dist in range(grid.rows):
+            if best is not None and float(dist * dist) > best[0]:
+                break
+            for row in sorted({target_row - dist, target_row + dist}):
+                if not (0 <= row < grid.rows):
+                    continue
+                y_cost = float((row - target_row) ** 2)
+                for segment in row_segments[row]:
+                    if segment.used >= segment.capacity:
+                        continue
+                    trial = segment.clone()
+                    before = trial.total_cost()
+                    trial.insert(block, raw_target)
+                    delta = y_cost + trial.total_cost() - before
+                    if best is None or delta < best[0]:
+                        best = (delta, row, segment)
+        if best is None:
+            raise RuntimeError("abacus legalization found no feasible row")
+        _, _row, segment = best
+        segment.insert(block, raw_target)
+
+    # Commit cluster positions to sites and write back block coordinates.
+    placed = {}
+    for row_idx, segments in enumerate(row_segments):
+        for segment in segments:
+            for cluster in segment.clusters:
+                start = cluster.optimal_start(
+                    float(segment.lo), float(segment.hi + 1)
+                )
+                start_col = int(round(start))
+                start_col = max(
+                    segment.lo, min(start_col, segment.hi + 1 - cluster.n)
+                )
+                for offset, (block, _t) in enumerate(cluster.cells):
+                    col = start_col + offset
+                    bins.occupy(col, row_idx, block.node_id)
+                    center = grid.site_center(col, row_idx)
+                    block.move_to(center.x, center.y)
+                    placed[block.name] = (col, row_idx)
+    return placed

@@ -1,0 +1,126 @@
+"""Bin-aided free-space index (paper Section III-D, after [28]).
+
+Resonator legalization repeatedly asks "which free site is nearest to this
+point?"  A flat scan is O(sites) per query; following the mixed-cell-height
+legalization of Yang et al. [28], sites are organized into per-row sorted
+structures so a query bisects within a row (O(log n)) and rows are visited
+outward from the target with a best-distance prune.
+
+The index also serves the *adjacent available* set ``Baa`` of Algorithm 1
+cheaply: free 4-neighbours of a site are O(log n) membership probes.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.geometry import Rect, SiteGrid
+
+
+class BinGrid:
+    """Occupancy tracking + nearest-free-site queries over a site grid."""
+
+    def __init__(self, grid: SiteGrid) -> None:
+        self.grid = grid
+        # Per-row sorted list of free columns; site membership mirrors it.
+        self._free_rows = [list(range(grid.cols)) for _ in range(grid.rows)]
+        self._occupant = {}
+
+    # -- occupancy ---------------------------------------------------------
+    def is_free(self, col: int, row: int) -> bool:
+        """True when the site exists and is unoccupied."""
+        if not self.grid.in_grid(col, row):
+            return False
+        return (col, row) not in self._occupant
+
+    def occupant(self, col: int, row: int):
+        """Whatever was stored by :meth:`occupy`, or None."""
+        return self._occupant.get((col, row))
+
+    def occupy(self, col: int, row: int, owner) -> None:
+        """Mark a free site as occupied by ``owner``."""
+        if not self.grid.in_grid(col, row):
+            raise IndexError(f"site ({col}, {row}) outside grid")
+        if (col, row) in self._occupant:
+            raise ValueError(f"site ({col}, {row}) already occupied")
+        self._occupant[(col, row)] = owner
+        free = self._free_rows[row]
+        idx = bisect.bisect_left(free, col)
+        if idx >= len(free) or free[idx] != col:
+            raise AssertionError(f"free-row index out of sync at ({col}, {row})")
+        free.pop(idx)
+
+    def release(self, col: int, row: int) -> None:
+        """Return an occupied site to the free pool."""
+        if (col, row) not in self._occupant:
+            raise ValueError(f"site ({col}, {row}) is not occupied")
+        del self._occupant[(col, row)]
+        bisect.insort(self._free_rows[row], col)
+
+    def occupy_rect(self, rect: Rect, owner) -> list:
+        """Occupy every site covered by ``rect`` (used for qubit macros)."""
+        sites = self.grid.sites_covered(rect)
+        for col, row in sites:
+            self.occupy(col, row, owner)
+        return sites
+
+    @property
+    def num_free(self) -> int:
+        """Number of free sites remaining."""
+        return self.grid.num_sites - len(self._occupant)
+
+    def free_sites(self) -> list:
+        """All free sites (row-major); O(sites), for tests and small grids."""
+        return [
+            (col, row)
+            for row in range(self.grid.rows)
+            for col in self._free_rows[row]
+        ]
+
+    # -- queries -----------------------------------------------------------
+    def nearest_free(self, col: int, row: int) -> tuple:
+        """Free site minimizing Euclidean site distance to ``(col, row)``.
+
+        Ties break toward smaller row, then smaller column, making the
+        scan deterministic.  Returns None when the grid is full.
+        """
+        best = None
+        best_d2 = None
+        max_offset = max(row, self.grid.rows - 1 - row)
+        for offset in range(max_offset + 1):
+            if best_d2 is not None and offset * offset > best_d2:
+                break
+            rows = (row - offset, row + offset) if offset else (row,)
+            for r in rows:
+                if not (0 <= r < self.grid.rows):
+                    continue
+                candidate = self._nearest_in_row(r, col)
+                if candidate is None:
+                    continue
+                dc = candidate - col
+                d2 = dc * dc + offset * offset
+                if best_d2 is None or d2 < best_d2 or (
+                    d2 == best_d2 and (r, candidate) < (best[1], best[0])
+                ):
+                    best = (candidate, r)
+                    best_d2 = d2
+        return best
+
+    def _nearest_in_row(self, row: int, col: int):
+        """Free column in ``row`` closest to ``col`` (bisect; None if empty)."""
+        free = self._free_rows[row]
+        if not free:
+            return None
+        idx = bisect.bisect_left(free, col)
+        candidates = []
+        if idx < len(free):
+            candidates.append(free[idx])
+        if idx > 0:
+            candidates.append(free[idx - 1])
+        return min(candidates, key=lambda c: (abs(c - col), c))
+
+    def free_neighbors(self, col: int, row: int) -> list:
+        """Free 4-neighbours of a site — the ``f(·)`` update of Algorithm 1."""
+        return [
+            (c, r) for c, r in self.grid.neighbors4(col, row) if self.is_free(c, r)
+        ]

@@ -1,0 +1,24 @@
+"""Layout quality metrics: legality, displacement, integration, reports."""
+
+from repro.metrics.legality import (
+    LegalityViolation,
+    check_legality,
+    is_legal,
+    qubit_spacing_violations,
+)
+from repro.metrics.displacement import displacement_stats, DisplacementStats
+from repro.metrics.integration import integration_ratio, total_clusters
+from repro.metrics.report import LayoutMetrics, layout_metrics
+
+__all__ = [
+    "LegalityViolation",
+    "check_legality",
+    "is_legal",
+    "qubit_spacing_violations",
+    "displacement_stats",
+    "DisplacementStats",
+    "integration_ratio",
+    "total_clusters",
+    "LayoutMetrics",
+    "layout_metrics",
+]

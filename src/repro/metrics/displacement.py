@@ -1,0 +1,41 @@
+"""Displacement between two layout snapshots (preserving GP quality)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DisplacementStats:
+    """Manhattan displacement summary between two snapshots."""
+
+    total: float
+    mean: float
+    maximum: float
+    count: int
+
+
+def displacement_stats(before: dict, after: dict, prefix: str = None) -> DisplacementStats:
+    """Compare two netlist snapshots (node id → (x, y)).
+
+    ``prefix`` restricts the comparison to one component class:
+    ``"q"`` for qubits, ``"b"`` for wire blocks, None for everything.
+    Node ids present in only one snapshot are ignored.
+    """
+    moves = []
+    for node_id, (x0, y0) in before.items():
+        if prefix is not None and node_id[0] != prefix:
+            continue
+        if node_id not in after:
+            continue
+        x1, y1 = after[node_id]
+        moves.append(abs(x1 - x0) + abs(y1 - y0))
+    if not moves:
+        return DisplacementStats(0.0, 0.0, 0.0, 0)
+    total = float(sum(moves))
+    return DisplacementStats(
+        total=total,
+        mean=total / len(moves),
+        maximum=float(max(moves)),
+        count=len(moves),
+    )

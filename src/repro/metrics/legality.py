@@ -1,0 +1,119 @@
+"""Legality checking: Eq. 1 (non-overlap), Eq. 2 (borders), and the
+quantum minimum-spacing rule of Section III-C.
+
+Checks use a spatial hash so full-layout validation is near-linear; the
+qGDP test-suite runs them after every legalization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry import Rect, SiteGrid, gap_between
+from repro.netlist.netlist import QuantumNetlist
+
+
+@dataclass(frozen=True)
+class LegalityViolation:
+    """One broken design rule."""
+
+    kind: str  # "overlap" | "border" | "qubit_spacing"
+    id_a: tuple
+    id_b: tuple = None
+    amount: float = 0.0
+
+    def __str__(self) -> str:
+        if self.id_b is None:
+            return f"{self.kind}: {self.id_a} by {self.amount:.3f}"
+        return f"{self.kind}: {self.id_a} vs {self.id_b} by {self.amount:.3f}"
+
+
+def _all_rects(netlist: QuantumNetlist) -> list:
+    out = [(("q", q.index), q.rect) for q in netlist.qubits]
+    out.extend(
+        (("b", b.resonator_key, b.ordinal), b.rect) for b in netlist.wire_blocks
+    )
+    return out
+
+
+def check_legality(
+    netlist: QuantumNetlist,
+    grid: SiteGrid,
+    tol: float = 1e-6,
+) -> list:
+    """All overlap and border violations in the current layout."""
+    violations = []
+    border = grid.border
+    rects = _all_rects(netlist)
+
+    for cid, rect in rects:
+        if not rect.inside(border, tol):
+            excess = max(
+                border.xlo - rect.xlo,
+                rect.xhi - border.xhi,
+                border.ylo - rect.ylo,
+                rect.yhi - border.yhi,
+            )
+            violations.append(LegalityViolation("border", cid, None, excess))
+
+    cell = max(max(r.w, r.h) for _, r in rects)
+    buckets = {}
+    for k, (_cid, rect) in enumerate(rects):
+        key = (int(math.floor(rect.cx / cell)), int(math.floor(rect.cy / cell)))
+        buckets.setdefault(key, []).append(k)
+    for (bx, by), members in buckets.items():
+        neighborhood = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                neighborhood.extend(buckets.get((bx + dx, by + dy), ()))
+        for i in members:
+            cid_i, rect_i = rects[i]
+            for j in neighborhood:
+                if j <= i:
+                    continue
+                cid_j, rect_j = rects[j]
+                if rect_i.overlaps(rect_j, tol):
+                    overlap = min(
+                        rect_i.xhi - rect_j.xlo,
+                        rect_j.xhi - rect_i.xlo,
+                        rect_i.yhi - rect_j.ylo,
+                        rect_j.yhi - rect_i.ylo,
+                    )
+                    violations.append(
+                        LegalityViolation("overlap", cid_i, cid_j, overlap)
+                    )
+    return violations
+
+
+def is_legal(netlist: QuantumNetlist, grid: SiteGrid, tol: float = 1e-6) -> bool:
+    """True when the layout satisfies Eq. 1 and Eq. 2."""
+    return not check_legality(netlist, grid, tol)
+
+
+def qubit_spacing_violations(
+    netlist: QuantumNetlist,
+    min_spacing: float,
+    tol: float = 1e-6,
+) -> list:
+    """Qubit pairs closer (edge-to-edge) than the quantum minimum spacing.
+
+    These are the "spatial constraint violations" that feed the Rabi
+    crosstalk error εg (Eq. 8): qubits without a resonator between them
+    act as if directly capacitively coupled.
+    """
+    violations = []
+    qubits = netlist.qubits
+    for a_pos, qa in enumerate(qubits):
+        for qb in qubits[a_pos + 1 :]:
+            gap = gap_between(qa.rect, qb.rect)
+            if gap < min_spacing - tol:
+                violations.append(
+                    LegalityViolation(
+                        "qubit_spacing",
+                        ("q", qa.index),
+                        ("q", qb.index),
+                        min_spacing - gap,
+                    )
+                )
+    return violations

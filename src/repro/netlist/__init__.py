@@ -1,0 +1,45 @@
+"""The quantum netlist: qubits, resonators, and their wire blocks.
+
+A quantum netlist is an undirected graph ``G(Q, E)`` whose vertices are
+qubits and whose edges are resonators coupling two qubits (paper,
+Section III-B).  Each resonator is partitioned into unit wire blocks
+(``Sij``) so the global placer can treat them as movable standard cells;
+after placement the blocks group into *clusters* of physically touching
+blocks, and a resonator is *unified* when it has exactly one cluster.
+"""
+
+from repro.netlist.components import Qubit, WireBlock, Resonator, ComponentKind
+from repro.netlist.netlist import QuantumNetlist
+from repro.netlist.partition import (
+    blocks_for_resonator,
+    partition_resonator,
+    reshape_to_rectangle,
+)
+from repro.netlist.pseudo import (
+    ConnectionStyle,
+    build_block_nets,
+    pseudo_connection_nets,
+    snake_connection_nets,
+)
+from repro.netlist.clusters import block_clusters, cluster_count, is_unified
+from repro.netlist.traces import resonator_trace, mst_segments
+
+__all__ = [
+    "Qubit",
+    "WireBlock",
+    "Resonator",
+    "ComponentKind",
+    "QuantumNetlist",
+    "blocks_for_resonator",
+    "partition_resonator",
+    "reshape_to_rectangle",
+    "ConnectionStyle",
+    "build_block_nets",
+    "pseudo_connection_nets",
+    "snake_connection_nets",
+    "block_clusters",
+    "resonator_trace",
+    "mst_segments",
+    "cluster_count",
+    "is_unified",
+]

@@ -1,0 +1,75 @@
+"""Wire-block cluster extraction (paper Section III-B).
+
+Blocks of one resonator form a *cluster* when they physically touch; a
+resonator with a single cluster is *unified*.  Minimizing the total cluster
+count (Eq. 3) is the objective of integration-aware legalization because
+every extra cluster forces routed hop(s) and potential airbridge crossings.
+
+Touching is evaluated on the site grid: two blocks are in the same cluster
+when their sites are 4-adjacent (edge-sharing).  Diagonal contact does not
+merge clusters — a diagonal hop still requires a routed jog.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.components import Resonator
+
+
+def _site(block, lb: float) -> tuple:
+    """Site coordinates of a block centre (no grid needed, pure arithmetic)."""
+    return (int(round(block.x / lb - 0.5)), int(round(block.y / lb - 0.5)))
+
+
+def block_clusters(resonator: Resonator, lb: float = 1.0) -> list:
+    """Partition ``resonator.blocks`` into lists of touching blocks.
+
+    Returns the clusters ``{C^1_e, ..., C^n_e}`` as lists of
+    :class:`~repro.netlist.components.WireBlock`, ordered by their smallest
+    block ordinal for determinism.
+    """
+    blocks = resonator.blocks
+    if not blocks:
+        return []
+    site_of = {id(b): _site(b, lb) for b in blocks}
+    by_site = {}
+    for b in blocks:
+        by_site.setdefault(site_of[id(b)], []).append(b)
+
+    unvisited = {id(b): b for b in blocks}
+    clusters = []
+    while unvisited:
+        _, seed = min(
+            ((b.ordinal, b) for b in unvisited.values()), key=lambda t: t[0]
+        )
+        stack = [seed]
+        del unvisited[id(seed)]
+        cluster = []
+        while stack:
+            cur = stack.pop()
+            cluster.append(cur)
+            col, row = site_of[id(cur)]
+            for ncol, nrow in (
+                (col - 1, row),
+                (col + 1, row),
+                (col, row - 1),
+                (col, row + 1),
+                (col, row),
+            ):
+                for nb in by_site.get((ncol, nrow), ()):
+                    if id(nb) in unvisited:
+                        del unvisited[id(nb)]
+                        stack.append(nb)
+        cluster.sort(key=lambda b: b.ordinal)
+        clusters.append(cluster)
+    clusters.sort(key=lambda c: c[0].ordinal)
+    return clusters
+
+
+def cluster_count(resonator: Resonator, lb: float = 1.0) -> int:
+    """``|C_e|`` — the number of clusters of a placed resonator."""
+    return len(block_clusters(resonator, lb))
+
+
+def is_unified(resonator: Resonator, lb: float = 1.0) -> bool:
+    """True when the resonator's blocks form a single cluster."""
+    return cluster_count(resonator, lb) <= 1

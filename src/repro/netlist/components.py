@@ -1,0 +1,177 @@
+"""Physical components of a superconducting quantum chip layout.
+
+Three component kinds appear in qGDP's layout model:
+
+* :class:`Qubit` — a fixed-frequency transmon; a macro on the site grid
+  (its footprint is several sites on a side, ``≫`` a wire block).
+* :class:`WireBlock` — one standard-cell-sized segment of a partitioned
+  resonator; the movable unit during resonator legalization.
+* :class:`Resonator` — the coupler between two qubits; owns an ordered
+  list of wire blocks produced by :mod:`repro.netlist.partition`.
+
+Positions are stored on the component (centre coordinates) so a component
+carries its own rectangle; the netlist and placers mutate positions in
+place and snapshot them per stage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect
+
+
+class ComponentKind(enum.Enum):
+    """Discriminates layout components where a heterogeneous list is used."""
+
+    QUBIT = "qubit"
+    WIRE_BLOCK = "wire_block"
+
+
+@dataclass
+class Qubit:
+    """A transmon qubit macro.
+
+    Parameters
+    ----------
+    index:
+        Physical qubit index within the device topology.
+    w, h:
+        Footprint in layout units (multiples of the site pitch).
+    x, y:
+        Centre position in layout coordinates.
+    frequency:
+        Qubit 01 transition frequency in GHz (assigned by
+        :mod:`repro.frequency.assignment`).
+    """
+
+    index: int
+    w: float
+    h: float
+    x: float = 0.0
+    y: float = 0.0
+    frequency: float = 0.0
+
+    kind: ComponentKind = field(default=ComponentKind.QUBIT, repr=False)
+
+    @property
+    def rect(self) -> Rect:
+        """Current bounding rectangle."""
+        return Rect(self.x, self.y, self.w, self.h)
+
+    @property
+    def center(self) -> Point:
+        """Current centre point."""
+        return Point(self.x, self.y)
+
+    def move_to(self, x: float, y: float) -> None:
+        """Set the centre position."""
+        self.x = x
+        self.y = y
+
+    @property
+    def name(self) -> str:
+        """Stable display name, e.g. ``Q7``."""
+        return f"Q{self.index}"
+
+    @property
+    def node_id(self) -> tuple:
+        """Structured id ``("q", index)`` used by placers and bin owners."""
+        return ("q", self.index)
+
+
+@dataclass
+class WireBlock:
+    """One unit segment of a partitioned resonator (a standard cell).
+
+    ``resonator_key`` identifies the owning resonator as the qubit index
+    pair ``(qi, qj)`` with ``qi < qj``; ``ordinal`` is the block's index in
+    the owner's segment list ``S_e``.
+    """
+
+    resonator_key: tuple
+    ordinal: int
+    size: float = 1.0
+    x: float = 0.0
+    y: float = 0.0
+    frequency: float = 0.0
+
+    kind: ComponentKind = field(default=ComponentKind.WIRE_BLOCK, repr=False)
+
+    @property
+    def rect(self) -> Rect:
+        """Current bounding rectangle (a ``size`` × ``size`` square)."""
+        return Rect(self.x, self.y, self.size, self.size)
+
+    @property
+    def center(self) -> Point:
+        """Current centre point."""
+        return Point(self.x, self.y)
+
+    def move_to(self, x: float, y: float) -> None:
+        """Set the centre position."""
+        self.x = x
+        self.y = y
+
+    @property
+    def name(self) -> str:
+        """Stable display name, e.g. ``R(2,5)#3``."""
+        qi, qj = self.resonator_key
+        return f"R({qi},{qj})#{self.ordinal}"
+
+    @property
+    def node_id(self) -> tuple:
+        """Structured id ``("b", resonator_key, ordinal)``."""
+        return ("b", self.resonator_key, self.ordinal)
+
+
+@dataclass
+class Resonator:
+    """A coupler between two qubits, carrying its partitioned wire blocks.
+
+    Parameters
+    ----------
+    qi, qj:
+        Endpoint physical qubit indices, ``qi < qj``.
+    wirelength:
+        Physical wire length ``L`` of the (unpartitioned) resonator in
+        layout units; drives the block count via Eq. 6.
+    frequency:
+        Fundamental resonator frequency in GHz.
+    blocks:
+        Ordered wire blocks ``S_e`` (filled by partitioning).
+    """
+
+    qi: int
+    qj: int
+    wirelength: float
+    frequency: float = 0.0
+    blocks: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.qi == self.qj:
+            raise ValueError(f"resonator endpoints must differ, got {self.qi}")
+        if self.qi > self.qj:
+            self.qi, self.qj = self.qj, self.qi
+        if self.wirelength <= 0:
+            raise ValueError(f"wirelength must be positive, got {self.wirelength}")
+
+    @property
+    def key(self) -> tuple:
+        """Canonical ``(qi, qj)`` identifier."""
+        return (self.qi, self.qj)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of wire blocks ``n = |S_e|``."""
+        return len(self.blocks)
+
+    @property
+    def name(self) -> str:
+        """Stable display name, e.g. ``R(2,5)``."""
+        return f"R({self.qi},{self.qj})"
+
+    def block_positions(self) -> list:
+        """Current centre points of all blocks."""
+        return [b.center for b in self.blocks]

@@ -1,0 +1,127 @@
+"""The quantum netlist graph ``G(Q, E)`` (paper Section III-B)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.netlist.components import Qubit, Resonator
+from repro.netlist.partition import partition_resonator
+from repro.netlist.pseudo import ConnectionStyle, build_block_nets
+
+
+class QuantumNetlist:
+    """Qubits, the resonators coupling them, and their wire blocks.
+
+    The netlist is the single source of truth for component identity and
+    position; placement stages mutate positions in place and callers use
+    :meth:`snapshot` / :meth:`restore` to checkpoint layouts between stages.
+    """
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self._qubits = {}
+        self._resonators = {}
+
+    # -- construction ----------------------------------------------------
+    def add_qubit(self, qubit: Qubit) -> Qubit:
+        """Register a qubit; indices must be unique."""
+        if qubit.index in self._qubits:
+            raise ValueError(f"duplicate qubit index {qubit.index}")
+        self._qubits[qubit.index] = qubit
+        return qubit
+
+    def add_resonator(self, resonator: Resonator) -> Resonator:
+        """Register a resonator; both endpoints must already exist."""
+        for endpoint in (resonator.qi, resonator.qj):
+            if endpoint not in self._qubits:
+                raise ValueError(f"resonator endpoint Q{endpoint} not in netlist")
+        if resonator.key in self._resonators:
+            raise ValueError(f"duplicate resonator {resonator.key}")
+        self._resonators[resonator.key] = resonator
+        return resonator
+
+    def partition_all(self, pad: float, lb: float) -> None:
+        """Partition every resonator into wire blocks seeded between its qubits."""
+        for resonator in self.resonators:
+            qa = self._qubits[resonator.qi]
+            qb = self._qubits[resonator.qj]
+            partition_resonator(resonator, pad, lb, (qa.x, qa.y), (qb.x, qb.y))
+
+    # -- access ------------------------------------------------------------
+    @property
+    def qubits(self) -> list:
+        """All qubits, ordered by index."""
+        return [self._qubits[i] for i in sorted(self._qubits)]
+
+    @property
+    def resonators(self) -> list:
+        """All resonators, ordered by key."""
+        return [self._resonators[k] for k in sorted(self._resonators)]
+
+    @property
+    def wire_blocks(self) -> list:
+        """All wire blocks across all resonators, netlist order."""
+        return [b for r in self.resonators for b in r.blocks]
+
+    @property
+    def num_qubits(self) -> int:
+        """``|Q|``."""
+        return len(self._qubits)
+
+    @property
+    def num_resonators(self) -> int:
+        """``|E|``."""
+        return len(self._resonators)
+
+    @property
+    def num_cells(self) -> int:
+        """Total movable components (qubits + wire blocks)."""
+        return self.num_qubits + len(self.wire_blocks)
+
+    def qubit(self, index: int) -> Qubit:
+        """Qubit by physical index."""
+        return self._qubits[index]
+
+    def resonator(self, qi: int, qj: int) -> Resonator:
+        """Resonator by endpoint pair (order-insensitive)."""
+        key = (qi, qj) if qi < qj else (qj, qi)
+        return self._resonators[key]
+
+    def has_resonator(self, qi: int, qj: int) -> bool:
+        """True when the two qubits are directly coupled."""
+        key = (qi, qj) if qi < qj else (qj, qi)
+        return key in self._resonators
+
+    def coupling_graph(self) -> nx.Graph:
+        """The device coupling graph over qubit indices."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._qubits)
+        graph.add_edges_from(self._resonators)
+        return graph
+
+    def nets(self, style: ConnectionStyle = ConnectionStyle.PSEUDO) -> list:
+        """Placer nets for all resonators under ``style`` (Fig. 5c/d)."""
+        return build_block_nets(self.resonators, style)
+
+    # -- position checkpoints ----------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture every component position, keyed by node id."""
+        positions = {}
+        for q in self.qubits:
+            positions[("q", q.index)] = (q.x, q.y)
+        for b in self.wire_blocks:
+            positions[("b", b.resonator_key, b.ordinal)] = (b.x, b.y)
+        return positions
+
+    def restore(self, positions: dict) -> None:
+        """Restore a snapshot produced by :meth:`snapshot`."""
+        for q in self.qubits:
+            q.x, q.y = positions[("q", q.index)]
+        for b in self.wire_blocks:
+            b.x, b.y = positions[("b", b.resonator_key, b.ordinal)]
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumNetlist(name={self.name!r}, qubits={self.num_qubits}, "
+            f"resonators={self.num_resonators}, cells={self.num_cells})"
+        )

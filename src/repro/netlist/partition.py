@@ -1,0 +1,83 @@
+"""Resonator reshaping and partitioning (paper Fig. 5a-b, Eq. 6).
+
+A padded resonator with wirelength ``L`` and padding width ``l_pad`` is
+reshaped into a compact rectangle of equal area and then cut into ``n``
+square wire blocks of side ``l_b``:
+
+    ``l_pad * L = n * l_b**2``            (Eq. 6)
+
+The blocks only *reserve layout area* for the resonator — detailed routing
+inside the reserved area is out of scope (paper Section III-D note).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.netlist.components import Resonator, WireBlock
+
+
+def num_blocks(wirelength: float, pad: float, lb: float) -> int:
+    """Block count ``n`` from Eq. 6, rounded up, at least 1."""
+    if wirelength <= 0:
+        raise ValueError(f"wirelength must be positive, got {wirelength}")
+    if pad <= 0 or lb <= 0:
+        raise ValueError(f"pad and lb must be positive, got pad={pad}, lb={lb}")
+    return max(1, math.ceil(pad * wirelength / (lb * lb)))
+
+
+def reshape_to_rectangle(n: int) -> tuple:
+    """Reshape ``n`` unit blocks into the most square ``cols x rows`` grid.
+
+    Returns ``(cols, rows)`` with ``cols * rows >= n`` and ``cols >= rows``.
+    The near-square target is what the pseudo connections steer the global
+    placer toward (Fig. 5b).
+    """
+    if n <= 0:
+        raise ValueError(f"block count must be positive, got {n}")
+    rows = max(1, int(math.floor(math.sqrt(n))))
+    cols = math.ceil(n / rows)
+    return (cols, rows)
+
+
+def blocks_for_resonator(resonator: Resonator, pad: float, lb: float) -> list:
+    """Create the wire blocks ``S_e`` for ``resonator`` (without placing them).
+
+    The blocks are appended to ``resonator.blocks`` and returned.  Each block
+    inherits the resonator frequency so hotspot analysis can reason about
+    segment-level frequency proximity.
+    """
+    n = num_blocks(resonator.wirelength, pad, lb)
+    resonator.blocks = [
+        WireBlock(
+            resonator_key=resonator.key,
+            ordinal=i,
+            size=lb,
+            frequency=resonator.frequency,
+        )
+        for i in range(n)
+    ]
+    return resonator.blocks
+
+
+def partition_resonator(
+    resonator: Resonator,
+    pad: float,
+    lb: float,
+    anchor_a: tuple,
+    anchor_b: tuple,
+) -> list:
+    """Partition ``resonator`` and seed block positions between its qubits.
+
+    Blocks are laid out along the straight line from ``anchor_a`` to
+    ``anchor_b`` (the endpoint qubit centres), evenly spaced — the natural
+    pre-global-placement seed.  Returns the created blocks.
+    """
+    blocks = blocks_for_resonator(resonator, pad, lb)
+    ax, ay = anchor_a
+    bx, by = anchor_b
+    n = len(blocks)
+    for i, block in enumerate(blocks):
+        t = (i + 1) / (n + 1)
+        block.move_to(ax + (bx - ax) * t, ay + (by - ay) * t)
+    return blocks

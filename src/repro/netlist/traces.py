@@ -1,0 +1,74 @@
+"""Resonator connection traces: the exposed wiring between clusters.
+
+A resonator electrically joins qubit_i → its reserved block clusters →
+qubit_j.  The shortest trace a router would lay is the minimum spanning
+tree over the terminal *sets* (each cluster's block centres plus each
+qubit pad's boundary points), with tree edges connecting the closest
+cross pair — so a cluster touching its qubit contributes a near-zero
+segment rather than a chord to its centroid.
+
+Both the crossing counter (:mod:`repro.routing.crossings`) and the
+trace-exposure hotspot model (:mod:`repro.frequency.hotspots`) consume
+these traces.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.clusters import block_clusters
+from repro.netlist.netlist import QuantumNetlist
+
+
+def _closest_pair(points_a: list, points_b: list) -> tuple:
+    """``(d2, pa, pb)`` — the closest cross pair between two point sets."""
+    best = None
+    for pa in points_a:
+        for pb in points_b:
+            d2 = (pa[0] - pb[0]) ** 2 + (pa[1] - pb[1]) ** 2
+            if best is None or d2 < best[0]:
+                best = (d2, pa, pb)
+    return best
+
+
+def mst_segments(terminal_sets: list) -> list:
+    """Straight-segment MST over point sets (Prim, tiny n)."""
+    if len(terminal_sets) < 2:
+        return []
+    in_tree = [0]
+    out = list(range(1, len(terminal_sets)))
+    segments = []
+    while out:
+        best = None
+        for i in in_tree:
+            for j in out:
+                d2, pa, pb = _closest_pair(terminal_sets[i], terminal_sets[j])
+                if best is None or d2 < best[0]:
+                    best = (d2, pa, pb, j)
+        _, pa, pb, j = best
+        segments.append((pa, pb))
+        in_tree.append(j)
+        out.remove(j)
+    return segments
+
+
+def qubit_boundary(qubit, samples_per_side: int = 3) -> list:
+    """Attachment points along a qubit pad's boundary."""
+    rect = qubit.rect
+    points = []
+    for k in range(samples_per_side):
+        t = (k + 0.5) / samples_per_side
+        x = rect.xlo + t * rect.w
+        y = rect.ylo + t * rect.h
+        points.extend(
+            [(x, rect.ylo), (x, rect.yhi), (rect.xlo, y), (rect.xhi, y)]
+        )
+    return points
+
+
+def resonator_trace(netlist: QuantumNetlist, resonator, lb: float = 1.0) -> list:
+    """The straight-segment connection tree of one resonator."""
+    qa = netlist.qubit(resonator.qi)
+    qb = netlist.qubit(resonator.qj)
+    terminal_sets = [qubit_boundary(qa), qubit_boundary(qb)]
+    for cluster in block_clusters(resonator, lb):
+        terminal_sets.append([(b.x, b.y) for b in cluster])
+    return mst_segments(terminal_sets)

@@ -1,0 +1,23 @@
+"""Global placement substrate.
+
+qGDP's contribution begins *after* global placement: the paper evaluates
+every legalizer from the same GP solution with pseudo connections.  This
+package provides that substrate — a force-directed, density-spreading
+global placer in the spirit of qPlacer/DREAMPlace [12], [13] — plus the
+layout builder that instantiates a netlist on a sized substrate.
+"""
+
+from repro.placement.builder import build_layout, size_grid
+from repro.placement.global_placer import GlobalPlacer, GlobalPlaceResult
+from repro.placement.density import DensityMap
+from repro.placement.wirelength import hpwl, total_hpwl
+
+__all__ = [
+    "build_layout",
+    "size_grid",
+    "GlobalPlacer",
+    "GlobalPlaceResult",
+    "DensityMap",
+    "hpwl",
+    "total_hpwl",
+]

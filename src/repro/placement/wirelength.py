@@ -1,0 +1,17 @@
+"""Wirelength measures for placement reporting."""
+
+from __future__ import annotations
+
+
+def hpwl(points: list) -> float:
+    """Half-perimeter wirelength of one net's pin positions."""
+    if not points:
+        return 0.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def total_hpwl(nets: list, positions: dict) -> float:
+    """Sum of HPWL over 2-pin nets given a node-id → (x, y) map."""
+    return sum(hpwl([positions[u], positions[v]]) for u, v in nets)

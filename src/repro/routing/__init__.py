@@ -1,0 +1,20 @@
+"""Maze routing over the site grid and the resonator crossing counter.
+
+Crossings matter because each one needs an airbridge, and airbridges both
+add loss and couple insufficiently detuned resonators (paper Section II-B).
+The router is a Lee/Dijkstra search whose cost model charges heavily for
+stepping onto another resonator's reserved blocks; the crossing counter
+routes every resonator's connection (qubit → clusters → qubit) and counts
+the foreign blocks the route must bridge.
+"""
+
+from repro.routing.maze import MazeRouter, RouteResult
+from repro.routing.crossings import count_crossings, resonator_crossings, CrossingReport
+
+__all__ = [
+    "MazeRouter",
+    "RouteResult",
+    "count_crossings",
+    "resonator_crossings",
+    "CrossingReport",
+]

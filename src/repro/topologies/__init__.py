@@ -1,0 +1,42 @@
+"""Device connectivity topologies evaluated in the paper (Table I).
+
+Six superconducting-device topologies, 25-127 qubits:
+
+========== ====== ============================================
+name       qubits description
+========== ====== ============================================
+grid       25     5x5 lattice, QEC friendly [2], [30]
+falcon     27     IBM Falcon heavy-hex processor [31]
+eagle      127    IBM Eagle heavy-hex processor [31]
+aspen11    40     Rigetti Aspen-11 octagon processor [32]
+aspenm     80     Rigetti Aspen-M octagon processor [32]
+xtree      53     Pauli-string-efficient X-tree, level 3 [33]
+========== ====== ============================================
+
+Each topology provides the coupling graph, ideal (unit-cell) qubit
+coordinates, and enough geometry hints to size the substrate.  The edge
+counts match the resonator totals the paper reports in Table III
+(40, 28, 144, 52, 48 and 106 respectively).
+"""
+
+from repro.topologies.base import Topology
+from repro.topologies.grid import grid_topology
+from repro.topologies.heavy_hex import falcon_topology, eagle_topology, heavy_hex_lattice
+from repro.topologies.octagon import aspen11_topology, aspenm_topology, octagon_lattice
+from repro.topologies.xtree import xtree_topology
+from repro.topologies.registry import get_topology, available_topologies, PAPER_TOPOLOGIES
+
+__all__ = [
+    "Topology",
+    "grid_topology",
+    "falcon_topology",
+    "eagle_topology",
+    "heavy_hex_lattice",
+    "aspen11_topology",
+    "aspenm_topology",
+    "octagon_lattice",
+    "xtree_topology",
+    "get_topology",
+    "available_topologies",
+    "PAPER_TOPOLOGIES",
+]

@@ -1,0 +1,36 @@
+"""Square-lattice topology (QEC-friendly, Google Sycamore style)."""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+
+
+def grid_topology(side: int = 5) -> Topology:
+    """``side`` × ``side`` nearest-neighbour lattice (default Grid-25).
+
+    Qubit ``q = row * side + col``; edges join horizontal and vertical
+    neighbours, giving ``2 * side * (side - 1)`` resonators (40 for 5x5,
+    matching Table III).
+    """
+    if side < 2:
+        raise ValueError(f"grid side must be >= 2, got {side}")
+    num_qubits = side * side
+    edges = []
+    positions = {}
+    for row in range(side):
+        for col in range(side):
+            q = row * side + col
+            positions[q] = (float(col), float(row))
+            if col + 1 < side:
+                edges.append((q, q + 1))
+            if row + 1 < side:
+                edges.append((q, q + side))
+    edges = sorted((min(a, b), max(a, b)) for a, b in edges)
+    return Topology(
+        name="grid" if side == 5 else f"grid{side}",
+        display_name="Grid",
+        num_qubits=num_qubits,
+        edges=edges,
+        ideal_positions=positions,
+        description="Quantum error correction friendly architecture",
+    )

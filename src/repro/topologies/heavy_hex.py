@@ -1,0 +1,136 @@
+"""IBM heavy-hex topologies: Falcon (27) and Eagle (127).
+
+The heavy-hex lattice is rows of linearly coupled qubits joined by
+dedicated *connector* qubits every four columns, with the connector column
+offset alternating by two between row gaps.  :func:`heavy_hex_lattice`
+generates the general pattern; :func:`falcon_topology` and
+:func:`eagle_topology` produce the two processors the paper evaluates.
+
+Edge counts match the paper's Table III resonator totals: Falcon 28,
+Eagle 144.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+
+# The 27-qubit Falcon coupling map (IBM Falcon r5.11, e.g. ibm_cairo).
+_FALCON_EDGES = [
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+    (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+]
+
+# Falcon qubit coordinates following IBM's published diagram: two qubit
+# rows (y=1 bottom, y=3 top) joined by three vertical rungs (2, 13, 24)
+# with six pendant qubits above/below.
+_FALCON_POSITIONS = {
+    # top row
+    1: (0.0, 3.0), 4: (1.0, 3.0), 7: (2.0, 3.0), 10: (3.0, 3.0),
+    12: (4.0, 3.0), 15: (5.0, 3.0), 18: (6.0, 3.0), 21: (7.0, 3.0),
+    23: (8.0, 3.0),
+    # bottom row
+    3: (0.0, 1.0), 5: (1.0, 1.0), 8: (2.0, 1.0), 11: (3.0, 1.0),
+    14: (4.0, 1.0), 16: (5.0, 1.0), 19: (6.0, 1.0), 22: (7.0, 1.0),
+    25: (8.0, 1.0),
+    # vertical rungs
+    2: (0.0, 2.0), 13: (4.0, 2.0), 24: (8.0, 2.0),
+    # pendants
+    0: (0.0, 4.0), 6: (2.0, 4.0), 17: (6.0, 4.0),
+    9: (2.0, 0.0), 20: (6.0, 0.0), 26: (8.0, 0.0),
+}
+
+
+def falcon_topology() -> Topology:
+    """27-qubit IBM Falcon processor (heavy hex)."""
+    return Topology(
+        name="falcon",
+        display_name="Falcon",
+        num_qubits=27,
+        edges=sorted(_FALCON_EDGES),
+        ideal_positions=dict(_FALCON_POSITIONS),
+        description="Falcon processor from IBM (heavy hex, 27 qubits)",
+    )
+
+
+def heavy_hex_lattice(rows: int, row_len: int, connectors: int) -> tuple:
+    """General heavy-hex lattice generator.
+
+    Parameters
+    ----------
+    rows:
+        Number of qubit rows.
+    row_len:
+        Qubits per interior row (first and last rows have one fewer,
+        as on the Eagle die).
+    connectors:
+        Connector qubits per row gap.
+
+    Returns ``(num_qubits, edges, positions)``.  Row qubits are numbered
+    left-to-right, then the connectors below them, row by row — the IBM
+    Eagle numbering scheme.
+    """
+    if rows < 2 or row_len < 5 or connectors < 1:
+        raise ValueError(
+            f"degenerate heavy hex ({rows} rows, {row_len} len, {connectors} conn)"
+        )
+    spacing = (row_len - 3) // (connectors - 1) if connectors > 1 else 4
+    edges = []
+    positions = {}
+    next_index = 0
+    row_start = {}
+    for row in range(rows):
+        length = row_len - 1 if row in (0, rows - 1) else row_len
+        # First/last rows are one qubit shorter; shift the last row right by
+        # one column so its connector offsets line up (Eagle pattern).
+        col0 = 1 if row == rows - 1 else 0
+        row_start[row] = (next_index, col0, length)
+        for col in range(length):
+            positions[next_index + col] = (float(col0 + col), float(2 * row))
+        edges.extend(
+            (next_index + c, next_index + c + 1) for c in range(length - 1)
+        )
+        next_index += length
+        if row == rows - 1:
+            break
+        # Connector qubits: offset alternates 0 / 2 between row gaps.
+        offset = 0 if row % 2 == 0 else 2
+        for k in range(connectors):
+            col = offset + k * spacing
+            positions[next_index + k] = (float(col), float(2 * row + 1))
+        row_start[(row, "conn")] = (next_index, offset)
+        next_index += connectors
+    # Attach connectors to the rows above and below.
+    for row in range(rows - 1):
+        conn_start, offset = row_start[(row, "conn")]
+        up_start, up_col0, up_len = row_start[row]
+        dn_start, dn_col0, dn_len = row_start[row + 1]
+        for k in range(connectors):
+            col = offset + k * spacing
+            up_q = up_start + (col - up_col0)
+            dn_q = dn_start + (col - dn_col0)
+            if not (0 <= col - up_col0 < up_len and 0 <= col - dn_col0 < dn_len):
+                raise ValueError(f"connector column {col} misses a row")
+            conn = conn_start + k
+            edges.append((min(up_q, conn), max(up_q, conn)))
+            edges.append((min(conn, dn_q), max(conn, dn_q)))
+    edges = sorted((min(a, b), max(a, b)) for a, b in edges)
+    return (next_index, edges, positions)
+
+
+def eagle_topology() -> Topology:
+    """127-qubit IBM Eagle processor (heavy hex, 144 resonators)."""
+    num_qubits, edges, positions = heavy_hex_lattice(rows=7, row_len=15, connectors=4)
+    if num_qubits != 127 or len(edges) != 144:
+        raise AssertionError(
+            f"eagle generator drifted: {num_qubits} qubits, {len(edges)} edges"
+        )
+    return Topology(
+        name="eagle",
+        display_name="Eagle",
+        num_qubits=num_qubits,
+        edges=edges,
+        ideal_positions=positions,
+        description="Eagle processor from IBM (heavy hex, 127 qubits)",
+    )

@@ -1,0 +1,107 @@
+"""Rigetti Aspen octagon topologies: Aspen-11 (40) and Aspen-M (80).
+
+Aspen devices tile 8-qubit octagonal rings.  Horizontally adjacent rings
+are joined by two couplers between their facing sides, vertically adjacent
+rings likewise.  Ring-local indices follow Rigetti's convention: index 0
+at the lower-left vertex, counting counter-clockwise, so indices 1 and 2
+lie on the right side and 5, 6 on the left side; 0, 7 on the bottom and
+3, 4 on the top.
+
+Edge counts match the paper's Table III resonator totals: Aspen-11 48,
+Aspen-M 106.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.topologies.base import Topology
+
+# Octagon-local coordinates, unit circumradius, index 0 at angle 247.5°
+# counting counter-clockwise (Rigetti diagram orientation).
+_OCT_ANGLES = [247.5, 292.5, 337.5, 22.5, 67.5, 112.5, 157.5, 202.5]
+_RING_SPAN = 3.0  # centre-to-centre spacing between adjacent octagons
+
+
+def _ring_positions(ring_col: int, ring_row: int) -> list:
+    """Coordinates of one octagon's 8 qubits."""
+    cx = ring_col * _RING_SPAN
+    cy = ring_row * _RING_SPAN
+    out = []
+    for angle_deg in _OCT_ANGLES:
+        theta = math.radians(angle_deg)
+        out.append((cx + math.cos(theta), cy + math.sin(theta)))
+    return out
+
+
+def octagon_lattice(ring_cols: int, ring_rows: int) -> tuple:
+    """Tile ``ring_cols`` × ``ring_rows`` octagons into an Aspen lattice.
+
+    Returns ``(num_qubits, edges, positions)``.  Ring ``(col, row)`` holds
+    qubits ``8 * (row * ring_cols + col) .. +7`` (local index order above).
+    Horizontal neighbours couple local ``(2, 5)`` and ``(3, 4)`` pairs;
+    vertical neighbours couple ``(4, 7)`` and ``(3, 0)`` pairs.
+    """
+    if ring_cols < 1 or ring_rows < 1:
+        raise ValueError(f"need at least one ring, got {ring_cols}x{ring_rows}")
+    edges = []
+    positions = {}
+    for row in range(ring_rows):
+        for col in range(ring_cols):
+            ring = row * ring_cols + col
+            base = 8 * ring
+            for local, pos in enumerate(_ring_positions(col, row)):
+                positions[base + local] = pos
+            # ring-internal cycle
+            edges.extend(
+                (base + i, base + (i + 1) % 8) for i in range(8)
+            )
+            # couple to the ring on the right: right side (2, 3) faces
+            # the neighbour's left side (5, 4).
+            if col + 1 < ring_cols:
+                right = base + 8
+                edges.append((base + 2, right + 5))
+                edges.append((base + 3, right + 4))
+            # couple to the ring above: top side (3, 4) faces the upper
+            # neighbour's bottom side (0, 7).
+            if row + 1 < ring_rows:
+                upper = base + 8 * ring_cols
+                edges.append((base + 4, upper + 7))
+                edges.append((base + 3, upper + 0))
+    num_qubits = 8 * ring_cols * ring_rows
+    edges = sorted((min(a, b), max(a, b)) for a, b in edges)
+    return (num_qubits, edges, positions)
+
+
+def aspen11_topology() -> Topology:
+    """40-qubit Rigetti Aspen-11 (5 octagons in a row, 48 resonators)."""
+    num_qubits, edges, positions = octagon_lattice(ring_cols=5, ring_rows=1)
+    if num_qubits != 40 or len(edges) != 48:
+        raise AssertionError(
+            f"aspen11 generator drifted: {num_qubits} qubits, {len(edges)} edges"
+        )
+    return Topology(
+        name="aspen11",
+        display_name="Aspen-11",
+        num_qubits=num_qubits,
+        edges=edges,
+        ideal_positions=positions,
+        description="Aspen-11 processor from Rigetti (octagon, 40 qubits)",
+    )
+
+
+def aspenm_topology() -> Topology:
+    """80-qubit Rigetti Aspen-M (2 x 5 octagons, 106 resonators)."""
+    num_qubits, edges, positions = octagon_lattice(ring_cols=5, ring_rows=2)
+    if num_qubits != 80 or len(edges) != 106:
+        raise AssertionError(
+            f"aspenm generator drifted: {num_qubits} qubits, {len(edges)} edges"
+        )
+    return Topology(
+        name="aspenm",
+        display_name="Aspen-M",
+        num_qubits=num_qubits,
+        edges=edges,
+        ideal_positions=positions,
+        description="Aspen-M processor from Rigetti (octagon, 80 qubits)",
+    )

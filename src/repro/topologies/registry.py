@@ -1,0 +1,39 @@
+"""Topology registry: look devices up by name."""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+from repro.topologies.grid import grid_topology
+from repro.topologies.heavy_hex import eagle_topology, falcon_topology
+from repro.topologies.octagon import aspen11_topology, aspenm_topology
+from repro.topologies.xtree import xtree_topology
+
+_BUILDERS = {
+    "grid": grid_topology,
+    "falcon": falcon_topology,
+    "eagle": eagle_topology,
+    "aspen11": aspen11_topology,
+    "aspenm": aspenm_topology,
+    "xtree": xtree_topology,
+}
+
+#: Topology names in the order the paper's tables present them.
+PAPER_TOPOLOGIES = ["grid", "xtree", "falcon", "eagle", "aspen11", "aspenm"]
+
+
+def available_topologies() -> list:
+    """All registered topology names, sorted."""
+    return sorted(_BUILDERS)
+
+
+def get_topology(name: str) -> Topology:
+    """Build a topology by registry name (case-insensitive).
+
+    Raises ``KeyError`` with the available names when unknown.
+    """
+    key = name.strip().lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
+        )
+    return _BUILDERS[key]()

@@ -1,0 +1,61 @@
+"""X-tree topology (Pauli-string-efficient architecture, level 3 [33]).
+
+Li et al. (ISCA'21) propose tree-shaped coupling for computational
+chemistry: Pauli-string circuits use CNOT trees, so a tree topology
+serves them with little routing.  The level-3 X-tree used in the paper
+has 53 qubits: a root, 4 level-1 children, 4 children under each of
+those (16), and 2 leaves under each level-2 node (32) — 1+4+16+32 = 53
+qubits and 52 resonators, matching Table III.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.topologies.base import Topology
+
+
+def xtree_topology(branching: tuple = (4, 4, 2)) -> Topology:
+    """Build an X-tree with the given per-level branching factors.
+
+    The default ``(4, 4, 2)`` is the paper's 53-qubit level-3 tree.
+    Qubits are numbered breadth-first from the root.  Ideal positions come
+    from a radial layout: level ``k`` sits on a circle of radius ``2k``,
+    children spread within their parent's angular sector.
+    """
+    if not branching or any(b < 1 for b in branching):
+        raise ValueError(f"branching factors must be positive, got {branching}")
+    edges = []
+    positions = {0: (0.0, 0.0)}
+    # (index, sector_lo, sector_hi) for the frontier of the current level
+    frontier = [(0, 0.0, 2.0 * math.pi)]
+    next_index = 1
+    for level, fanout in enumerate(branching, start=1):
+        radius = 2.0 * level
+        new_frontier = []
+        for parent, lo, hi in frontier:
+            span = (hi - lo) / fanout
+            for k in range(fanout):
+                child = next_index
+                next_index += 1
+                child_lo = lo + k * span
+                child_hi = child_lo + span
+                theta = (child_lo + child_hi) / 2.0
+                positions[child] = (
+                    radius * math.cos(theta),
+                    radius * math.sin(theta),
+                )
+                edges.append((parent, child))
+                new_frontier.append((child, child_lo, child_hi))
+        frontier = new_frontier
+    num_qubits = next_index
+    edges = sorted((min(a, b), max(a, b)) for a, b in edges)
+    name = "xtree" if branching == (4, 4, 2) else "xtree" + "x".join(map(str, branching))
+    return Topology(
+        name=name,
+        display_name="Xtree",
+        num_qubits=num_qubits,
+        edges=edges,
+        ideal_positions=positions,
+        description="Pauli-string efficient X-tree architecture, level 3",
+    )

@@ -1,0 +1,12 @@
+"""Layout rendering (ASCII) and data export (CSV/JSON) helpers."""
+
+from repro.visualization.ascii_art import render_layout, render_occupancy
+from repro.visualization.export import layout_to_dict, save_layout_json, save_metrics_csv
+
+__all__ = [
+    "render_layout",
+    "render_occupancy",
+    "layout_to_dict",
+    "save_layout_json",
+    "save_metrics_csv",
+]

@@ -1,0 +1,50 @@
+"""ASCII rendering of layouts — good enough to eyeball a legalization.
+
+Qubit sites render as ``Q``, wire blocks as a per-resonator letter cycling
+a-z/A-Z, free sites as ``.``.  The origin is bottom-left, so rows print
+top-down.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.geometry import SiteGrid
+from repro.netlist.netlist import QuantumNetlist
+
+_LETTERS = string.ascii_lowercase + string.ascii_uppercase
+
+
+def render_layout(netlist: QuantumNetlist, grid: SiteGrid) -> str:
+    """Render component positions onto the site grid."""
+    canvas = [["." for _ in range(grid.cols)] for _ in range(grid.rows)]
+    for qubit in netlist.qubits:
+        for col, row in grid.sites_covered(qubit.rect):
+            canvas[row][col] = "Q"
+    for index, resonator in enumerate(netlist.resonators):
+        letter = _LETTERS[index % len(_LETTERS)]
+        for block in resonator.blocks:
+            col, row = grid.site_of(block.center)
+            if canvas[row][col] == ".":
+                canvas[row][col] = letter
+            elif canvas[row][col] != "Q":
+                canvas[row][col] = "#"  # block collision marker
+    return "\n".join("".join(row) for row in reversed(canvas))
+
+
+def render_occupancy(bins) -> str:
+    """Render a :class:`~repro.legalization.bins.BinGrid`'s occupancy."""
+    grid = bins.grid
+    rows = []
+    for row in range(grid.rows - 1, -1, -1):
+        line = []
+        for col in range(grid.cols):
+            owner = bins.occupant(col, row)
+            if owner is None:
+                line.append(".")
+            elif owner[0] == "q":
+                line.append("Q")
+            else:
+                line.append("o")
+        rows.append("".join(line))
+    return "\n".join(rows)

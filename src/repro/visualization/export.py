@@ -1,0 +1,58 @@
+"""Export layouts and metric tables to JSON / CSV."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+
+def layout_to_dict(netlist) -> dict:
+    """JSON-serializable snapshot of a layout."""
+    return {
+        "name": netlist.name,
+        "qubits": [
+            {
+                "index": q.index,
+                "x": q.x,
+                "y": q.y,
+                "w": q.w,
+                "h": q.h,
+                "frequency": q.frequency,
+            }
+            for q in netlist.qubits
+        ],
+        "resonators": [
+            {
+                "qi": r.qi,
+                "qj": r.qj,
+                "frequency": r.frequency,
+                "wirelength": r.wirelength,
+                "blocks": [
+                    {"ordinal": b.ordinal, "x": b.x, "y": b.y}
+                    for b in r.blocks
+                ],
+            }
+            for r in netlist.resonators
+        ],
+    }
+
+
+def save_layout_json(netlist, path: str) -> None:
+    """Write :func:`layout_to_dict` to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(layout_to_dict(netlist), handle, indent=2)
+
+
+def save_metrics_csv(rows: list, path: str) -> None:
+    """Write a list of flat dicts as CSV (union of keys as header)."""
+    if not rows:
+        raise ValueError("no rows to write")
+    fields = []
+    for row in rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(rows)

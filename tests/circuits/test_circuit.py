@@ -1,0 +1,56 @@
+"""Circuit IR behaviour."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+
+
+def test_builders_chain():
+    qc = QuantumCircuit(3).h(0).cx(0, 1).rz(2, 0.5)
+    assert qc.num_gates == 3
+    assert qc.count_1q() == 2
+    assert qc.count_2q() == 1
+
+
+def test_out_of_range_qubit_rejected():
+    qc = QuantumCircuit(2)
+    with pytest.raises(ValueError):
+        qc.h(2)
+
+
+def test_min_one_qubit():
+    with pytest.raises(ValueError):
+        QuantumCircuit(0)
+
+
+def test_depth_serial_chain():
+    qc = QuantumCircuit(1)
+    for _ in range(5):
+        qc.x(0)
+    assert qc.depth() == 5
+
+
+def test_depth_parallel_gates():
+    qc = QuantumCircuit(4)
+    for q in range(4):
+        qc.h(q)
+    assert qc.depth() == 1
+    qc.cx(0, 1).cx(2, 3)
+    assert qc.depth() == 2
+    qc.cx(1, 2)
+    assert qc.depth() == 3
+
+
+def test_two_qubit_pairs_in_order():
+    qc = QuantumCircuit(4).cx(0, 1).rzz(2, 3, 0.1).cx(1, 2)
+    assert qc.two_qubit_pairs() == [(0, 1), (2, 3), (1, 2)]
+
+
+def test_empty_circuit_depth_zero():
+    assert QuantumCircuit(3).depth() == 0
+
+
+def test_repr_contains_stats():
+    qc = QuantumCircuit(2, name="demo").h(0)
+    assert "demo" in repr(qc)
+    assert "gates=1" in repr(qc)

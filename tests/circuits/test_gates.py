@@ -1,0 +1,48 @@
+"""Gate primitives."""
+
+import pytest
+
+from repro.circuits import Gate, GATE_DURATIONS_NS, is_two_qubit
+
+
+def test_one_qubit_gate():
+    g = Gate("h", (3,))
+    assert g.num_qubits == 1
+    assert g.duration_ns == GATE_DURATIONS_NS[1]
+    assert not is_two_qubit(g)
+
+
+def test_two_qubit_gate():
+    g = Gate("cx", (0, 1))
+    assert g.num_qubits == 2
+    assert g.duration_ns == GATE_DURATIONS_NS[2]
+    assert is_two_qubit(g)
+
+
+def test_params_carried():
+    g = Gate("rz", (0,), (1.57,))
+    assert g.params == (1.57,)
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(ValueError):
+        Gate("foo", (0,))
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(ValueError):
+        Gate("h", (0, 1))
+    with pytest.raises(ValueError):
+        Gate("cx", (0,))
+
+
+def test_duplicate_qubits_rejected():
+    with pytest.raises(ValueError):
+        Gate("cx", (2, 2))
+
+
+def test_gates_hashable_and_frozen():
+    g = Gate("x", (0,))
+    assert hash(g) == hash(Gate("x", (0,)))
+    with pytest.raises(Exception):
+        g.name = "y"

@@ -1,0 +1,100 @@
+"""Benchmark generators (Table I)."""
+
+import pytest
+
+from repro.circuits import (
+    PAPER_BENCHMARKS,
+    bernstein_vazirani,
+    get_benchmark,
+    ising_chain,
+    qaoa_maxcut,
+    qgan_ansatz,
+)
+
+
+def test_bv_structure():
+    qc = bernstein_vazirani(4)
+    assert qc.num_qubits == 4
+    # All-ones secret: 3 oracle CX onto the ancilla.
+    assert qc.count_2q() == 3
+    # 3 input H + (X,H) ancilla prep + 3 closing H.
+    assert qc.count_1q() == 8
+    assert all(g.qubits[1] == 3 for g in qc.gates if g.num_qubits == 2)
+
+
+def test_bv_custom_secret():
+    qc = bernstein_vazirani(5, secret="0101")
+    assert qc.count_2q() == 2
+
+
+def test_bv_rejects_bad_secret():
+    with pytest.raises(ValueError):
+        bernstein_vazirani(4, secret="11")
+    with pytest.raises(ValueError):
+        bernstein_vazirani(4, secret="1x1")
+    with pytest.raises(ValueError):
+        bernstein_vazirani(1)
+
+
+def test_qaoa_structure():
+    qc = qaoa_maxcut(4, p=1)
+    assert qc.count_2q() == 4  # ring edges
+    qc2 = qaoa_maxcut(4, p=3)
+    assert qc2.count_2q() == 12
+
+
+def test_qaoa_custom_edges():
+    qc = qaoa_maxcut(4, edges=[(0, 1), (2, 3)])
+    assert qc.two_qubit_pairs() == [(0, 1), (2, 3)]
+
+
+def test_qaoa_validation():
+    with pytest.raises(ValueError):
+        qaoa_maxcut(1)
+    with pytest.raises(ValueError):
+        qaoa_maxcut(4, p=0)
+
+
+def test_ising_structure():
+    qc = ising_chain(4, steps=3)
+    assert qc.count_2q() == 3 * 3  # chain bonds per step
+    pairs = set(qc.two_qubit_pairs())
+    assert pairs == {(0, 1), (1, 2), (2, 3)}  # linear chain only
+
+
+def test_ising_validation():
+    with pytest.raises(ValueError):
+        ising_chain(1)
+    with pytest.raises(ValueError):
+        ising_chain(4, steps=0)
+
+
+def test_qgan_structure():
+    qc = qgan_ansatz(4, layers=2)
+    assert qc.count_2q() == 8  # ring entangler per layer
+    assert qc.count_1q() == 12  # 2 layers * 4 RY + final 4 RY
+
+
+def test_qgan_deterministic():
+    a = qgan_ansatz(4, seed=7)
+    b = qgan_ansatz(4, seed=7)
+    assert [g.params for g in a.gates] == [g.params for g in b.gates]
+    c = qgan_ansatz(4, seed=8)
+    assert [g.params for g in a.gates] != [g.params for g in c.gates]
+
+
+def test_registry_builds_paper_benchmarks():
+    for name in PAPER_BENCHMARKS:
+        qc = get_benchmark(name)
+        expected = int(name.split("-")[1])
+        assert qc.num_qubits == expected
+        assert qc.name == name
+
+
+def test_registry_rejects_bad_names():
+    with pytest.raises(KeyError):
+        get_benchmark("bv4")
+    with pytest.raises(KeyError):
+        get_benchmark("magic-4")
+    with pytest.raises(KeyError):
+        get_benchmark("bv-x")

@@ -1,0 +1,65 @@
+"""SWAP-insertion routing."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, get_benchmark
+from repro.compiler import route_circuit
+from repro.compiler.mapping import random_mapping
+from repro.topologies import get_topology
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return get_topology("grid")
+
+
+def test_all_physical_2q_gates_on_edges(grid):
+    circuit = get_benchmark("bv-9")
+    for seed in range(5):
+        mapping = random_mapping(circuit, grid, seed=seed)
+        gates, _final = route_circuit(circuit, grid, mapping)
+        for gate in gates:
+            if gate.num_qubits == 2:
+                assert grid.graph.has_edge(*gate.qubits), gate
+
+
+def test_adjacent_gate_needs_no_swaps(grid):
+    circuit = QuantumCircuit(2).cx(0, 1)
+    mapping = {0: 0, 1: 1}  # adjacent on the grid
+    gates, final = route_circuit(circuit, grid, mapping)
+    assert len(gates) == 1
+    assert final == mapping
+
+
+def test_distant_gate_inserts_swaps(grid):
+    circuit = QuantumCircuit(2).cx(0, 1)
+    mapping = {0: 0, 1: 24}  # opposite corners: distance 8
+    gates, final = route_circuit(circuit, grid, mapping)
+    assert len(gates) == 1 + 3 * 7  # 7 swaps of 3 CX, then the gate
+    # Logical 0 walked to a neighbour of logical 1's position.
+    assert grid.graph.has_edge(final[0], final[1])
+
+
+def test_mapping_updates_consistently(grid):
+    circuit = QuantumCircuit(3).cx(0, 2).cx(1, 2).cx(0, 1)
+    mapping = {0: 0, 1: 12, 2: 24}
+    gates, final = route_circuit(circuit, grid, mapping)
+    assert sorted(final) == [0, 1, 2]
+    assert len(set(final.values())) == 3
+
+
+def test_one_qubit_gates_follow_mapping(grid):
+    circuit = QuantumCircuit(2).h(0).cx(0, 1).h(0)
+    mapping = {0: 0, 1: 24}
+    gates, final = route_circuit(circuit, grid, mapping)
+    h_gates = [g for g in gates if g.name == "h"]
+    assert h_gates[0].qubits == (0,)  # before any swap
+    assert h_gates[1].qubits == (final[0],)  # after the walk
+
+
+def test_gate_names_preserved(grid):
+    circuit = QuantumCircuit(2).rzz(0, 1, 0.3)
+    mapping = {0: 0, 1: 1}
+    gates, _ = route_circuit(circuit, grid, mapping)
+    assert gates[0].name == "rzz"
+    assert gates[0].params == (0.3,)

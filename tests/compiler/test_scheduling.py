@@ -1,0 +1,47 @@
+"""ASAP scheduling."""
+
+import pytest
+
+from repro.circuits import Gate
+from repro.compiler import schedule
+
+
+def test_empty_schedule():
+    s = schedule([])
+    assert s.duration_ns == 0.0
+    assert s.busy_ns == {}
+
+
+def test_serial_gates_on_one_qubit():
+    gates = [Gate("x", (0,)), Gate("x", (0,))]
+    s = schedule(gates)
+    assert s.duration_ns == pytest.approx(70.0)
+    assert s.busy_ns[0] == pytest.approx(70.0)
+    assert s.gate_start_ns == [0.0, 35.0]
+
+
+def test_parallel_gates_overlap():
+    gates = [Gate("x", (0,)), Gate("x", (1,))]
+    s = schedule(gates)
+    assert s.duration_ns == pytest.approx(35.0)
+    assert s.gate_start_ns == [0.0, 0.0]
+
+
+def test_two_qubit_gate_blocks_both():
+    gates = [Gate("cx", (0, 1)), Gate("x", (1,))]
+    s = schedule(gates)
+    assert s.gate_start_ns == [0.0, 300.0]
+    assert s.duration_ns == pytest.approx(335.0)
+
+
+def test_idle_time_computed():
+    gates = [Gate("cx", (0, 1)), Gate("x", (2,))]
+    s = schedule(gates)
+    assert s.idle_ns(2) == pytest.approx(300.0 - 35.0)
+    assert s.idle_ns(0) == pytest.approx(0.0)
+
+
+def test_dependency_chain_depth():
+    gates = [Gate("cx", (0, 1)), Gate("cx", (1, 2)), Gate("cx", (2, 3))]
+    s = schedule(gates)
+    assert s.duration_ns == pytest.approx(900.0)

@@ -1,0 +1,61 @@
+"""Transpiler facade statistics."""
+
+import pytest
+
+from repro.circuits import get_benchmark
+from repro.compiler import transpile
+from repro.topologies import get_topology
+
+
+@pytest.fixture(scope="module")
+def transpiled():
+    return transpile(get_benchmark("bv-9"), get_topology("falcon"), seed=4)
+
+
+def test_stats_consistent_with_gates(transpiled):
+    ones = sum(1 for g in transpiled.physical_gates if g.num_qubits == 1)
+    twos = sum(1 for g in transpiled.physical_gates if g.num_qubits == 2)
+    assert sum(transpiled.gates_1q.values()) == ones
+    assert sum(transpiled.gates_2q.values()) == 2 * twos
+
+
+def test_active_edges_are_coupling_edges(transpiled):
+    falcon = get_topology("falcon")
+    for a, b in transpiled.active_edges:
+        assert a < b
+        assert falcon.graph.has_edge(a, b)
+
+
+def test_active_qubits_cover_mapping(transpiled):
+    assert set(transpiled.initial_mapping.values()) <= transpiled.active_qubits
+
+
+def test_duration_positive(transpiled):
+    assert transpiled.duration_ns > 0
+    assert transpiled.timing.duration_ns == transpiled.duration_ns
+
+
+def test_seeded_transpile_deterministic():
+    topo = get_topology("grid")
+    circuit = get_benchmark("qaoa-4")
+    a = transpile(circuit, topo, seed=9)
+    b = transpile(circuit, topo, seed=9)
+    assert a.initial_mapping == b.initial_mapping
+    assert [g.qubits for g in a.physical_gates] == [
+        g.qubits for g in b.physical_gates
+    ]
+
+
+def test_explicit_mapping_wins():
+    topo = get_topology("grid")
+    circuit = get_benchmark("qaoa-4")
+    mapping = {0: 0, 1: 1, 2: 6, 3: 5}
+    result = transpile(circuit, topo, initial_mapping=mapping)
+    assert result.initial_mapping == mapping
+
+
+def test_greedy_fallback_without_seed():
+    topo = get_topology("grid")
+    circuit = get_benchmark("qaoa-4")
+    result = transpile(circuit, topo)
+    assert len(set(result.initial_mapping.values())) == 4

@@ -1,0 +1,88 @@
+"""End-to-end flow."""
+
+import pytest
+
+from repro.core import QGDPConfig
+from repro.core.pipeline import QGDPFlow, run_flow
+from repro.metrics import check_legality
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    cfg = QGDPConfig(gp_iterations=60)
+    flow = QGDPFlow("falcon", cfg)
+    result = flow.run(engine="qgdp", detailed=True)
+    return (flow, result)
+
+
+def test_stage_sequence(flow_result):
+    _flow, result = flow_result
+    assert [s.stage for s in result.stages] == ["gp", "lg", "dp"]
+    assert result.final.stage == "dp"
+
+
+def test_stage_lookup(flow_result):
+    _flow, result = flow_result
+    assert result.stage("lg").stage == "lg"
+    with pytest.raises(KeyError):
+        result.stage("nope")
+
+
+def test_lg_metrics_present(flow_result):
+    _flow, result = flow_result
+    lg = result.stage("lg").metrics
+    for key in (
+        "iedge",
+        "crossings",
+        "ph_percent",
+        "hq",
+        "qubit_time_s",
+        "resonator_time_s",
+        "legality_violations",
+    ):
+        assert key in lg
+    assert lg["legality_violations"] == 0
+
+
+def test_dp_never_regresses_lg(flow_result):
+    _flow, result = flow_result
+    lg = result.stage("lg").metrics
+    dp = result.stage("dp").metrics
+    assert dp["clusters"] <= lg["clusters"]
+    assert dp["ph_percent"] <= lg["ph_percent"] + 1e-9
+    assert dp["crossings"] <= lg["crossings"]
+
+
+def test_final_layout_legal(flow_result):
+    flow, _result = flow_result
+    assert check_legality(flow.netlist, flow.grid) == []
+
+
+def test_positions_snapshot_per_stage(flow_result):
+    _flow, result = flow_result
+    gp = result.stage("gp").positions
+    lg = result.stage("lg").positions
+    assert set(gp) == set(lg)
+    assert gp != lg  # legalization moved things
+
+
+def test_run_flow_convenience():
+    flow, result = run_flow(
+        "grid", engine="tetris", detailed=False, config=QGDPConfig(gp_iterations=40)
+    )
+    assert [s.stage for s in result.stages] == ["gp", "lg"]
+    assert flow.netlist is not None
+
+
+def test_flow_accepts_topology_object():
+    from repro.topologies import get_topology
+
+    flow = QGDPFlow(get_topology("grid"), QGDPConfig(gp_iterations=10))
+    assert flow.topology.name == "grid"
+
+
+def test_empty_flow_result_raises():
+    from repro.core.result import FlowResult
+
+    with pytest.raises(ValueError):
+        FlowResult("grid", "qgdp").final

@@ -1,0 +1,32 @@
+"""Stage reports and flow results."""
+
+import pytest
+
+from repro.core.result import FlowResult, StageReport
+
+
+def test_metric_accessor_default():
+    report = StageReport(stage="lg", runtime_s=0.1, metrics={"x": 1})
+    assert report.metric("x") == 1
+    assert report.metric("missing") is None
+    assert report.metric("missing", 7) == 7
+
+
+def test_flow_result_stage_lookup():
+    result = FlowResult("grid", "qgdp")
+    result.stages.append(StageReport("gp", 0.1))
+    result.stages.append(StageReport("lg", 0.2))
+    assert result.stage("gp").runtime_s == 0.1
+    assert result.final.stage == "lg"
+
+
+def test_flow_result_missing_stage():
+    result = FlowResult("grid", "qgdp")
+    result.stages.append(StageReport("gp", 0.1))
+    with pytest.raises(KeyError):
+        result.stage("dp")
+
+
+def test_empty_flow_result_final_raises():
+    with pytest.raises(ValueError):
+        FlowResult("grid", "qgdp").final

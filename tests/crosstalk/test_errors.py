@@ -1,0 +1,109 @@
+"""Error-model properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crosstalk import (
+    NoiseParameters,
+    crossing_error,
+    effective_coupling_ghz,
+    qubit_error,
+    rabi_crosstalk_error,
+    resonator_pair_error,
+)
+
+durations = st.floats(0.0, 1e5, allow_nan=False)
+gaps = st.floats(0.0, 10.0, allow_nan=False)
+freqs = st.floats(4.5, 7.5, allow_nan=False)
+
+
+def test_qubit_error_zero_for_empty_program():
+    assert qubit_error(0, 0, 0.0) == pytest.approx(0.0)
+
+
+def test_qubit_error_grows_with_gates():
+    assert qubit_error(10, 0, 0.0) < qubit_error(10, 5, 0.0)
+    assert qubit_error(0, 5, 0.0) < qubit_error(0, 10, 0.0)
+
+
+def test_qubit_error_grows_with_duration():
+    assert qubit_error(0, 0, 1000.0) < qubit_error(0, 0, 10000.0)
+
+
+def test_qubit_error_rejects_negative():
+    with pytest.raises(ValueError):
+        qubit_error(-1, 0, 0.0)
+
+
+@given(st.integers(0, 200), st.integers(0, 200), durations)
+def test_qubit_error_in_unit_interval(n1, n2, t):
+    assert 0.0 <= qubit_error(n1, n2, t) <= 1.0
+
+
+def test_effective_coupling_decays_with_gap():
+    g0 = effective_coupling_ghz(0.0, 5.0, 5.0, 0.04)
+    g1 = effective_coupling_ghz(1.0, 5.0, 5.0, 0.04)
+    assert g1 < g0
+
+
+def test_effective_coupling_decays_with_detuning():
+    near = effective_coupling_ghz(0.0, 5.0, 5.01, 0.04)
+    far = effective_coupling_ghz(0.0, 5.0, 5.5, 0.04)
+    assert far < near
+    # Detuning floor keeps a residual coupling.
+    assert far > 0.0
+
+
+def test_negative_gap_clamped():
+    assert effective_coupling_ghz(-2.0, 5.0, 5.0, 0.04) == pytest.approx(
+        effective_coupling_ghz(0.0, 5.0, 5.0, 0.04)
+    )
+
+
+@given(gaps, freqs, freqs, durations)
+def test_rabi_error_bounded_by_half(gap, fa, fb, t):
+    eps = rabi_crosstalk_error(gap, fa, fb, t, 0.04)
+    assert 0.0 <= eps <= 0.5
+
+
+def test_rabi_error_zero_at_zero_time():
+    assert rabi_crosstalk_error(0.0, 5.0, 5.0, 0.0, 0.04) == pytest.approx(0.0)
+
+
+def test_rabi_error_monotone_in_duration():
+    e1 = rabi_crosstalk_error(0.5, 5.0, 5.0, 500.0, 0.04)
+    e2 = rabi_crosstalk_error(0.5, 5.0, 5.0, 5000.0, 0.04)
+    assert e1 <= e2
+
+
+def test_crossing_error_wire_vs_padded():
+    wire = crossing_error(7.0, 7.0, 2000.0, 0.04, wire_to_wire=True)
+    padded = crossing_error(7.0, 7.0, 2000.0, 0.04, wire_to_wire=False)
+    assert padded < wire
+
+
+def test_crossing_error_detuning_helps():
+    resonant = crossing_error(7.0, 7.0, 2000.0, 0.04)
+    detuned = crossing_error(7.0, 7.2, 2000.0, 0.04)
+    assert detuned < resonant
+
+
+def test_resonator_pair_error_zero_for_no_contribution():
+    assert resonator_pair_error(0.0, 2000.0) == 0.0
+
+
+def test_resonator_pair_error_roughly_linear_for_small_contributions():
+    small = resonator_pair_error(0.1, 2000.0)
+    double = resonator_pair_error(0.2, 2000.0)
+    assert double == pytest.approx(2 * small, rel=0.1)
+
+
+@given(st.floats(0.0, 100.0), durations)
+def test_resonator_pair_error_bounded(contribution, t):
+    assert 0.0 <= resonator_pair_error(contribution, t) <= 0.5
+
+
+def test_custom_parameters_flow_through():
+    hot = NoiseParameters(error_2q=0.5)
+    assert qubit_error(0, 1, 0.0, hot) == pytest.approx(0.5)

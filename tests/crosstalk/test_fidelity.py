@@ -1,0 +1,105 @@
+"""The Eq. 7 fidelity estimator on real layouts."""
+
+import pytest
+
+from repro.circuits import get_benchmark
+from repro.compiler import transpile
+from repro.crosstalk import NoiseParameters, program_fidelity
+from repro.routing import count_crossings
+from repro.topologies import get_topology
+
+
+@pytest.fixture(scope="module")
+def falcon_topology():
+    return get_topology("falcon")
+
+
+@pytest.fixture()
+def falcon_fidelity(fast_config, falcon_legalized, falcon_topology):
+    netlist, _grid, outcome = falcon_legalized
+    transpiled = transpile(get_benchmark("bv-4"), falcon_topology, seed=2)
+    crossings = count_crossings(netlist, outcome.bins)
+    breakdown = program_fidelity(netlist, transpiled, crossings, fast_config)
+    return (netlist, outcome, transpiled, crossings, breakdown)
+
+
+def test_factors_in_unit_interval(falcon_fidelity):
+    *_rest, breakdown = falcon_fidelity
+    for factor in (
+        breakdown.fidelity,
+        breakdown.qubit_factor,
+        breakdown.qubit_crosstalk_factor,
+        breakdown.resonator_factor,
+    ):
+        assert 0.0 <= factor <= 1.0
+
+
+def test_fidelity_is_product_of_factors(falcon_fidelity):
+    *_rest, breakdown = falcon_fidelity
+    assert breakdown.fidelity == pytest.approx(
+        breakdown.qubit_factor
+        * breakdown.qubit_crosstalk_factor
+        * breakdown.resonator_factor
+    )
+
+
+def test_clean_quantum_layout_has_no_qubit_crosstalk(falcon_fidelity):
+    *_rest, breakdown = falcon_fidelity
+    # qGDP legalization enforces the minimum spacing, so no εg factors.
+    assert breakdown.num_violating_pairs == 0
+    assert breakdown.qubit_crosstalk_factor == 1.0
+
+
+def test_heavier_benchmark_lower_fidelity(
+    fast_config, falcon_legalized, falcon_topology
+):
+    netlist, _grid, outcome = falcon_legalized
+    crossings = count_crossings(netlist, outcome.bins)
+
+    def fidelity(name):
+        transpiled = transpile(get_benchmark(name), falcon_topology, seed=2)
+        return program_fidelity(
+            netlist, transpiled, crossings, fast_config
+        ).fidelity
+
+    assert fidelity("bv-16") < fidelity("bv-9") < fidelity("bv-4")
+
+
+def test_noisier_device_lower_fidelity(
+    fast_config, falcon_legalized, falcon_topology
+):
+    netlist, _grid, outcome = falcon_legalized
+    transpiled = transpile(get_benchmark("bv-4"), falcon_topology, seed=2)
+    crossings = count_crossings(netlist, outcome.bins)
+    base = program_fidelity(netlist, transpiled, crossings, fast_config)
+    noisy = program_fidelity(
+        netlist,
+        transpiled,
+        crossings,
+        fast_config,
+        params=NoiseParameters(error_2q=0.05),
+    )
+    assert noisy.fidelity < base.fidelity
+
+
+def test_precomputed_artifacts_match_recompute(
+    fast_config, falcon_legalized, falcon_topology
+):
+    from repro.frequency.hotspots import hotspot_pairs
+    from repro.metrics import qubit_spacing_violations
+
+    netlist, _grid, outcome = falcon_legalized
+    transpiled = transpile(get_benchmark("bv-4"), falcon_topology, seed=2)
+    crossings = count_crossings(netlist, outcome.bins)
+    lazy = program_fidelity(netlist, transpiled, crossings, fast_config)
+    eager = program_fidelity(
+        netlist,
+        transpiled,
+        crossings,
+        fast_config,
+        hotspots=hotspot_pairs(netlist, fast_config.reach, fast_config.delta_c),
+        violations=qubit_spacing_violations(
+            netlist, fast_config.min_qubit_spacing
+        ),
+    )
+    assert lazy.fidelity == pytest.approx(eager.fidelity)

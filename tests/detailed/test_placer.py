@@ -1,0 +1,61 @@
+"""Detailed placer: never regresses, preserves legality and consistency."""
+
+import pytest
+
+from repro.core.config import QGDPConfig
+from repro.detailed import DetailedPlacer
+from repro.frequency.hotspots import hotspot_proportion
+from repro.metrics import check_legality, total_clusters
+from repro.routing import count_crossings
+
+
+@pytest.fixture()
+def dp_run(fast_config, falcon_legalized):
+    netlist, grid, outcome = falcon_legalized
+    before = {
+        "clusters": total_clusters(netlist),
+        "ph": hotspot_proportion(netlist, fast_config.reach, fast_config.delta_c),
+        "crossings": count_crossings(netlist, outcome.bins).total,
+    }
+    result = DetailedPlacer(fast_config).run(netlist, outcome.bins)
+    return (netlist, grid, outcome.bins, before, result)
+
+
+def test_layout_remains_legal(dp_run, fast_config):
+    netlist, grid, _bins, _before, _result = dp_run
+    assert check_legality(netlist, grid) == []
+
+
+def test_clusters_never_regress(dp_run):
+    netlist, _grid, _bins, before, result = dp_run
+    assert total_clusters(netlist) <= before["clusters"]
+    assert result.clusters_after <= result.clusters_before
+
+
+def test_hotspots_never_regress(dp_run, fast_config):
+    netlist, _grid, _bins, before, _result = dp_run
+    after = hotspot_proportion(netlist, fast_config.reach, fast_config.delta_c)
+    assert after <= before["ph"] + 1e-9
+
+
+def test_crossings_never_regress(dp_run):
+    netlist, _grid, bins, before, _result = dp_run
+    assert count_crossings(netlist, bins).total <= before["crossings"]
+
+
+def test_bins_consistent_after_dp(dp_run):
+    netlist, grid, bins, _before, _result = dp_run
+    occupied = 0
+    for block in netlist.wire_blocks:
+        site = grid.site_of(block.center)
+        assert bins.occupant(*site) == block.node_id
+        occupied += 1
+    for qubit in netlist.qubits:
+        occupied += len(grid.sites_covered(qubit.rect))
+    assert grid.num_sites - bins.num_free == occupied
+
+
+def test_accounting_adds_up(dp_run):
+    _netlist, _grid, _bins, _before, result = dp_run
+    assert result.attempted == result.accepted + result.reverted
+    assert result.attempted <= result.flagged

@@ -1,0 +1,75 @@
+"""Violation detection and window construction."""
+
+from repro.core.config import QGDPConfig
+from repro.detailed import build_window, find_violations
+from repro.geometry import SiteGrid
+from repro.legalization import BinGrid
+from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+
+
+def _layout(split=True):
+    nl = QuantumNetlist()
+    nl.add_qubit(Qubit(index=0, w=3, h=3, x=1.5, y=1.5, frequency=5.0))
+    nl.add_qubit(Qubit(index=1, w=3, h=3, x=17.5, y=1.5, frequency=5.07))
+    nl.add_qubit(Qubit(index=2, w=3, h=3, x=1.5, y=9.5, frequency=5.14))
+    nl.add_qubit(Qubit(index=3, w=3, h=3, x=17.5, y=9.5, frequency=5.21))
+    r1 = nl.add_resonator(Resonator(qi=0, qj=1, wirelength=4.0, frequency=7.0))
+    sites1 = [(3, 1), (4, 1), (14, 1), (15, 1)] if split else [
+        (c, 1) for c in range(3, 7)
+    ]
+    r1.blocks = [
+        WireBlock(resonator_key=r1.key, ordinal=k, x=c + 0.5, y=w + 0.5, frequency=7.0)
+        for k, (c, w) in enumerate(sites1)
+    ]
+    r2 = nl.add_resonator(Resonator(qi=2, qj=3, wirelength=4.0, frequency=7.1))
+    r2.blocks = [
+        WireBlock(resonator_key=r2.key, ordinal=k, x=c + 0.5, y=9.5, frequency=7.1)
+        for k, c in enumerate(range(3, 7))
+    ]
+    bins = BinGrid(SiteGrid(21, 13))
+    for q in nl.qubits:
+        bins.occupy_rect(q.rect, q.node_id)
+    for r in (r1, r2):
+        for b in r.blocks:
+            bins.occupy(*bins.grid.site_of(b.center), b.node_id)
+    return (nl, bins)
+
+
+def test_split_resonator_flagged():
+    nl, bins = _layout(split=True)
+    cfg = QGDPConfig()
+    flagged = find_violations(nl, cfg.lb, cfg.reach, cfg.delta_c, bins=bins)
+    assert (0, 1) in flagged
+
+
+def test_clean_layout_not_flagged():
+    nl, bins = _layout(split=False)
+    cfg = QGDPConfig()
+    flagged = find_violations(nl, cfg.lb, cfg.reach, cfg.delta_c, bins=bins)
+    assert (0, 1) not in flagged
+
+
+def test_window_bounds_cover_resonator_and_qubits():
+    nl, bins = _layout(split=True)
+    window = build_window(nl, bins.grid, (0, 1), halo=2)
+    lo_col, lo_row, hi_col, hi_row = window.bounds
+    # Covers qubit 0 (cols 0-2), qubit 1 (cols 16-18), blocks rows ~1.
+    assert lo_col == 0
+    assert hi_col >= 17
+    assert window.contains_site((3, 1))
+    assert not window.contains_site((3, hi_row + 1))
+
+
+def test_window_membership_includes_adjacent_resonators():
+    nl, bins = _layout(split=True)
+    window = build_window(nl, bins.grid, (0, 1), halo=9)
+    assert (0, 1) in window.resonator_keys
+    assert (2, 3) in window.resonator_keys  # inside the big halo
+
+
+def test_window_clamped_to_grid():
+    nl, bins = _layout(split=True)
+    window = build_window(nl, bins.grid, (0, 1), halo=50)
+    lo_col, lo_row, hi_col, hi_row = window.bounds
+    assert lo_col >= 0 and lo_row >= 0
+    assert hi_col < bins.grid.cols and hi_row < bins.grid.rows

@@ -1,0 +1,37 @@
+"""End-to-end determinism: identical seeds give identical results."""
+
+import pytest
+
+from repro.core.config import QGDPConfig
+from repro.core.pipeline import run_flow
+from repro.evaluation import EvaluationConfig, evaluate_fidelity
+
+
+def _flow_fingerprint(seed: int):
+    cfg = QGDPConfig(gp_iterations=50, seed=seed)
+    flow, result = run_flow("falcon", engine="qgdp", detailed=True, config=cfg)
+    return (
+        result.final.positions,
+        result.final.metrics["iedge"],
+        result.final.metrics["crossings"],
+    )
+
+
+def test_flow_deterministic_given_seed():
+    assert _flow_fingerprint(3) == _flow_fingerprint(3)
+
+
+def test_flow_varies_with_seed():
+    assert _flow_fingerprint(3)[0] != _flow_fingerprint(4)[0]
+
+
+@pytest.mark.parametrize("engine", ["qgdp", "tetris"])
+def test_fidelity_sweep_deterministic(engine):
+    def sweep():
+        eval_config = EvaluationConfig(
+            num_seeds=3, config=QGDPConfig(gp_iterations=50)
+        )
+        cells = evaluate_fidelity(["grid"], ["bv-4"], [engine], eval_config)
+        return cells[("grid", "bv-4", engine)].samples
+
+    assert sweep() == sweep()

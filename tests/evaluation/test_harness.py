@@ -1,0 +1,84 @@
+"""Evaluation harness sweeps."""
+
+import pytest
+
+from repro.core.config import QGDPConfig
+from repro.evaluation import (
+    EvaluationConfig,
+    evaluate_engines,
+    evaluate_fidelity,
+    format_fig8,
+    format_fig9,
+    format_table2,
+    format_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def small_eval():
+    return EvaluationConfig(
+        num_seeds=3, config=QGDPConfig(gp_iterations=60)
+    )
+
+
+@pytest.fixture(scope="module")
+def fidelity_cells(small_eval):
+    return evaluate_fidelity(
+        ["falcon"], ["bv-4", "qaoa-4"], ["qgdp", "tetris"], small_eval
+    )
+
+
+@pytest.fixture(scope="module")
+def engine_evals(small_eval):
+    return {
+        "falcon": evaluate_engines(
+            "falcon", ["qgdp", "tetris"], small_eval, with_dp_for=("qgdp",)
+        )
+    }
+
+
+def test_all_cells_present(fidelity_cells):
+    for bench in ("bv-4", "qaoa-4"):
+        for engine in ("qgdp", "tetris"):
+            assert ("falcon", bench, engine) in fidelity_cells
+
+
+def test_cell_statistics_consistent(fidelity_cells):
+    for cell in fidelity_cells.values():
+        assert len(cell.samples) == 3
+        assert cell.minimum <= cell.mean <= cell.maximum
+        assert 0.0 <= cell.minimum and cell.maximum <= 1.0
+
+
+def test_qgdp_at_least_matches_tetris(fidelity_cells):
+    for bench in ("bv-4", "qaoa-4"):
+        qgdp = fidelity_cells[("falcon", bench, "qgdp")].mean
+        tetris = fidelity_cells[("falcon", bench, "tetris")].mean
+        assert qgdp >= tetris - 1e-9
+
+
+def test_engine_evaluation_fields(engine_evals):
+    ev = engine_evals["falcon"]["qgdp"]
+    assert ev.metrics.legality_violations == 0
+    assert ev.qubit_time_s > 0
+    assert ev.dp_metrics is not None
+    assert ev.dp_time_s > 0
+    assert engine_evals["falcon"]["tetris"].dp_metrics is None
+
+
+def test_formatters_produce_tables(fidelity_cells, engine_evals):
+    fig8 = format_fig8(
+        fidelity_cells, ["falcon"], ["bv-4", "qaoa-4"], ["qgdp", "tetris"]
+    )
+    assert "falcon" in fig8 and "qGDP-LG" in fig8
+    fig9 = format_fig9(engine_evals, ["falcon"], ["qgdp", "tetris"])
+    assert "Ph (%)" in fig9 and "Coupler Crosses" in fig9
+    t2 = format_table2(engine_evals, ["falcon"], ["qgdp", "tetris"])
+    assert "Mean" in t2
+    t3 = format_table3(engine_evals, ["falcon"])
+    assert "LG Iedge" in t3
+
+
+def test_oversized_benchmarks_skipped(small_eval):
+    cells = evaluate_fidelity(["grid"], ["bv-16"], ["qgdp"], small_eval)
+    assert ("grid", "bv-16", "qgdp") in cells  # 16 fits the 25-qubit grid

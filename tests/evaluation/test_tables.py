@@ -1,0 +1,97 @@
+"""Table formatters: structure and edge cases."""
+
+import pytest
+
+from repro.evaluation.harness import EngineEvaluation, FidelityCell
+from repro.evaluation.tables import (
+    format_fig8,
+    format_fig9,
+    format_table2,
+    format_table3,
+)
+from repro.metrics.report import LayoutMetrics
+
+
+def _metrics(**overrides):
+    base = dict(
+        num_cells=100,
+        unified=9,
+        total_resonators=10,
+        clusters=11,
+        crossings=2,
+        ph_percent=1.25,
+        hq=4,
+        legality_violations=0,
+        spacing_violations=0,
+    )
+    base.update(overrides)
+    return LayoutMetrics(**base)
+
+
+def _evaluation(engine, dp=False):
+    ev = EngineEvaluation(
+        topology="grid",
+        engine=engine,
+        metrics=_metrics(),
+        qubit_time_s=0.010,
+        resonator_time_s=0.002,
+    )
+    if dp:
+        ev.dp_metrics = _metrics(unified=10, crossings=1, ph_percent=0.5, hq=2)
+        ev.dp_time_s = 0.05
+    return ev
+
+
+def test_fig8_formats_missing_cells_as_dash():
+    cells = {
+        ("grid", "bv-4", "qgdp"): FidelityCell(
+            "grid", "bv-4", "qgdp", mean=0.5, minimum=0.4, maximum=0.6
+        )
+    }
+    text = format_fig8(cells, ["grid"], ["bv-4", "bv-16"], ["qgdp"])
+    assert "0.5000" in text
+    assert "-" in text  # the missing bv-16 cell
+
+
+def test_fig8_small_values_printed_as_below_threshold():
+    cells = {
+        ("grid", "bv-4", "qgdp"): FidelityCell(
+            "grid", "bv-4", "qgdp", mean=5e-5, minimum=0.0, maximum=1e-4
+        )
+    }
+    text = format_fig8(cells, ["grid"], ["bv-4"], ["qgdp"])
+    assert "<1e-4" in text
+
+
+def test_fig9_contains_means():
+    evaluations = {"grid": {"qgdp": _evaluation("qgdp")}}
+    text = format_fig9(evaluations, ["grid"], ["qgdp"])
+    assert "Ph (%)" in text
+    assert "1.25" in text
+    assert "Coupler Crosses" in text
+
+
+def test_table2_mean_row():
+    evaluations = {
+        "grid": {"qgdp": _evaluation("qgdp")},
+        "falcon": {"qgdp": _evaluation("qgdp")},
+    }
+    text = format_table2(evaluations, ["grid", "falcon"], ["qgdp"])
+    assert text.splitlines()[-1].startswith("Mean")
+    assert "10.00" in text  # 0.010 s -> 10 ms
+
+
+def test_table3_uses_lg_when_dp_missing():
+    evaluations = {"grid": {"qgdp": _evaluation("qgdp", dp=False)}}
+    text = format_table3(evaluations, ["grid"])
+    assert "9/10" in text
+
+
+def test_table3_shows_dp_improvement():
+    evaluations = {"grid": {"qgdp": _evaluation("qgdp", dp=True)}}
+    text = format_table3(evaluations, ["grid"])
+    assert "10/10" in text and "9/10" in text
+
+
+def test_iedge_property():
+    assert _metrics().iedge == "9/10"

@@ -1,0 +1,108 @@
+"""Frequency allocation: coloring quality, scatter, determinism."""
+
+import pytest
+
+from repro.core.config import QGDPConfig
+from repro.frequency import assign_frequencies
+from repro.frequency.assignment import (
+    DEFAULT_QUBIT_BANDS,
+    DEFAULT_RESONATOR_BANDS,
+)
+from repro.placement import build_layout
+from repro.topologies import get_topology
+
+
+def _fresh(topology_name: str):
+    cfg = QGDPConfig(gp_iterations=1)
+    topo = get_topology(topology_name)
+    netlist, _grid = build_layout(topo, cfg)
+    return (topo, netlist)
+
+
+def _band_of(freq: float, bands: tuple) -> float:
+    return min(bands, key=lambda b: abs(b - freq))
+
+
+def test_no_coupled_qubits_share_a_band():
+    topo, netlist = _fresh("falcon")
+    plan = assign_frequencies(
+        netlist, topo, qubit_scatter=0.0, resonator_scatter=0.0
+    )
+    for qi, qj in topo.edges:
+        assert plan.qubit_freq[qi] != plan.qubit_freq[qj]
+
+
+def test_qubit_sharing_resonators_never_share_a_band():
+    topo, netlist = _fresh("aspen11")
+    plan = assign_frequencies(
+        netlist, topo, qubit_scatter=0.0, resonator_scatter=0.0
+    )
+    for r1 in netlist.resonators:
+        for r2 in netlist.resonators:
+            if r1.key >= r2.key:
+                continue
+            if set(r1.key) & set(r2.key):
+                assert plan.resonator_freq[r1.key] != plan.resonator_freq[r2.key]
+
+
+def test_blocks_inherit_resonator_frequency():
+    _topo, netlist = _fresh("grid")
+    for resonator in netlist.resonators:
+        for block in resonator.blocks:
+            assert block.frequency == resonator.frequency
+
+
+def test_scatter_moves_frequencies_off_band():
+    _topo, netlist = _fresh("grid")
+    off_band = [
+        q.frequency
+        for q in netlist.qubits
+        if min(abs(q.frequency - b) for b in DEFAULT_QUBIT_BANDS) > 1e-6
+    ]
+    assert off_band, "fabrication scatter should move most qubits off-band"
+
+
+def test_assignment_is_deterministic():
+    topo = get_topology("falcon")
+    cfg = QGDPConfig(gp_iterations=1)
+    nl1, _ = build_layout(topo, cfg)
+    nl2, _ = build_layout(topo, cfg)
+    assert [q.frequency for q in nl1.qubits] == [q.frequency for q in nl2.qubits]
+    assert [r.frequency for r in nl1.resonators] == [
+        r.frequency for r in nl2.resonators
+    ]
+
+
+def test_zero_scatter_lands_exactly_on_bands():
+    topo = get_topology("grid")
+    cfg = QGDPConfig(gp_iterations=1)
+    netlist, _grid = build_layout(topo, cfg)
+    plan = assign_frequencies(
+        netlist, topo, qubit_scatter=0.0, resonator_scatter=0.0
+    )
+    for freq in plan.qubit_freq.values():
+        assert freq in DEFAULT_QUBIT_BANDS
+    for freq in plan.resonator_freq.values():
+        assert freq in DEFAULT_RESONATOR_BANDS
+
+
+def test_collisions_empty_for_colorable_graph():
+    topo = get_topology("grid")
+    cfg = QGDPConfig(gp_iterations=1)
+    netlist, _grid = build_layout(topo, cfg)
+    plan = assign_frequencies(
+        netlist, topo, qubit_scatter=0.0, resonator_scatter=0.0
+    )
+    assert plan.collisions(topo) == []
+
+
+def test_rejects_empty_bands():
+    topo, netlist = _fresh("grid")
+    with pytest.raises(ValueError):
+        assign_frequencies(netlist, topo, qubit_bands=())
+
+
+def test_rejects_negative_scatter():
+    topo, netlist = _fresh("grid")
+    with pytest.raises(ValueError):
+        assign_frequencies(netlist, topo, qubit_scatter=-1.0)

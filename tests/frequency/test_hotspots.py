@@ -1,0 +1,143 @@
+"""Hotspot metrics on synthetic layouts."""
+
+import pytest
+
+from repro.frequency.hotspots import (
+    hotspot_pairs,
+    hotspot_proportion,
+    hotspot_report,
+    resonator_hotspots,
+)
+from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+
+
+def _netlist(qubit_specs, resonator_specs):
+    """qubit_specs: (index, x, y, freq); resonator_specs: (qi, qj, freq, sites)."""
+    nl = QuantumNetlist()
+    for index, x, y, freq in qubit_specs:
+        nl.add_qubit(Qubit(index=index, w=3, h=3, x=x, y=y, frequency=freq))
+    for qi, qj, freq, sites in resonator_specs:
+        r = nl.add_resonator(
+            Resonator(qi=qi, qj=qj, wirelength=max(1.0, float(len(sites))), frequency=freq)
+        )
+        r.blocks = [
+            WireBlock(
+                resonator_key=r.key, ordinal=k, x=c + 0.5, y=w + 0.5, frequency=freq
+            )
+            for k, (c, w) in enumerate(sites)
+        ]
+    return nl
+
+
+def test_close_resonant_qubits_flagged():
+    nl = _netlist(
+        [(0, 1.5, 1.5, 5.0), (1, 5.5, 1.5, 5.0)],  # gap 1.0, same frequency
+        [],
+    )
+    pairs = hotspot_pairs(nl, reach=2.0, delta_c=0.04)
+    assert len(pairs) == 1
+    assert pairs[0].id_a == ("q", 0) and pairs[0].id_b == ("q", 1)
+    assert pairs[0].contribution > 0
+
+
+def test_detuned_qubits_not_flagged():
+    nl = _netlist(
+        [(0, 1.5, 1.5, 5.0), (1, 5.5, 1.5, 5.2)],
+        [],
+    )
+    assert hotspot_pairs(nl, reach=2.0, delta_c=0.04) == []
+
+
+def test_distant_qubits_not_flagged():
+    nl = _netlist(
+        [(0, 1.5, 1.5, 5.0), (1, 20.5, 1.5, 5.0)],
+        [],
+    )
+    assert hotspot_pairs(nl, reach=2.0, delta_c=0.04) == []
+
+
+def test_unified_attached_resonator_has_no_trace_exposure():
+    # One resonator between its qubits; a detuned bystander far away.
+    nl = _netlist(
+        [(0, 1.5, 1.5, 5.0), (1, 13.5, 1.5, 5.07), (2, 1.5, 20.5, 5.14), (3, 13.5, 20.5, 5.21)],
+        [
+            (0, 1, 7.0, [(c, 1) for c in range(3, 12)]),
+            (2, 3, 7.0, [(c, 20) for c in range(3, 12)]),
+        ],
+    )
+    pairs = hotspot_pairs(nl, reach=2.0, delta_c=0.04)
+    assert [p for p in pairs if p.id_a[0] == "e"] == []
+
+
+def test_split_resonator_chord_near_resonant_blocks_flagged():
+    # Resonator (0,1) is split; its chord passes right next to blocks of
+    # the same-frequency resonator (2,3).
+    nl = _netlist(
+        [
+            (0, 1.5, 1.5, 5.0),
+            (1, 17.5, 1.5, 5.07),
+            (2, 1.5, 5.5, 5.14),
+            (3, 17.5, 5.5, 5.21),
+        ],
+        [
+            (0, 1, 7.0, [(3, 1), (4, 1), (14, 1), (15, 1)]),  # split w/ gap
+            (2, 3, 7.0, [(c, 2) for c in range(7, 12)]),  # in the chord path
+        ],
+    )
+    pairs = [p for p in hotspot_pairs(nl, reach=2.0, delta_c=0.04) if p.id_a[0] == "e"]
+    assert pairs, "chord next to same-frequency blocks must be flagged"
+    keys = {frozenset((p.id_a[1], p.id_b[1])) for p in pairs}
+    assert frozenset(((0, 1), (2, 3))) in keys
+
+
+def test_detuned_chord_not_flagged():
+    nl = _netlist(
+        [
+            (0, 1.5, 1.5, 5.0),
+            (1, 17.5, 1.5, 5.07),
+            (2, 1.5, 5.5, 5.14),
+            (3, 17.5, 5.5, 5.21),
+        ],
+        [
+            (0, 1, 7.0, [(3, 1), (4, 1), (14, 1), (15, 1)]),
+            (2, 3, 7.2, [(c, 2) for c in range(7, 12)]),  # well detuned
+        ],
+    )
+    pairs = [p for p in hotspot_pairs(nl, reach=2.0, delta_c=0.04) if p.id_a[0] == "e"]
+    assert pairs == []
+
+
+def test_ph_normalized_by_area():
+    nl = _netlist(
+        [(0, 1.5, 1.5, 5.0), (1, 5.5, 1.5, 5.0)],
+        [],
+    )
+    pairs = hotspot_pairs(nl, reach=2.0, delta_c=0.04)
+    ph = hotspot_proportion(nl, reach=2.0, delta_c=0.04, pairs=pairs)
+    total_area = 2 * 9.0
+    expected = 100.0 * sum(p.contribution for p in pairs) / total_area
+    assert ph == pytest.approx(expected)
+
+
+def test_report_hq_counts_qubits_and_endpoints():
+    nl = _netlist(
+        [
+            (0, 1.5, 1.5, 5.0),
+            (1, 5.5, 1.5, 5.0),  # hotspot with qubit 0
+            (2, 30.5, 1.5, 5.14),
+            (3, 44.5, 1.5, 5.21),
+        ],
+        [],
+    )
+    report = hotspot_report(nl, reach=2.0, delta_c=0.04)
+    assert report.hq == 2
+    assert report.ph_percent > 0
+
+
+def test_resonator_hotspots_zero_for_clean_layout():
+    nl = _netlist(
+        [(0, 1.5, 1.5, 5.0), (1, 13.5, 1.5, 5.07)],
+        [(0, 1, 7.0, [(c, 1) for c in range(3, 12)])],
+    )
+    scores = resonator_hotspots(nl, reach=2.0, delta_c=0.04)
+    assert scores == {(0, 1): 0.0}

@@ -1,0 +1,46 @@
+"""The τ frequency-proximity weight."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frequency import tau
+
+freqs = st.floats(4.0, 9.0, allow_nan=False)
+
+
+def test_resonant_pair_is_one():
+    assert tau(5.0, 5.0, delta_c=0.1) == 1.0
+
+
+def test_beyond_threshold_is_zero():
+    assert tau(5.0, 5.2, delta_c=0.1) == 0.0
+    assert tau(5.0, 5.1, delta_c=0.1) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_linear_ramp():
+    assert tau(5.0, 5.05, delta_c=0.1) == pytest.approx(0.5)
+
+
+def test_rejects_nonpositive_threshold():
+    with pytest.raises(ValueError):
+        tau(5.0, 5.0, delta_c=0.0)
+
+
+@given(freqs, freqs)
+def test_bounded_and_symmetric(fa, fb):
+    value = tau(fa, fb, delta_c=0.05)
+    assert 0.0 <= value <= 1.0
+    assert value == tau(fb, fa, delta_c=0.05)
+
+
+@given(freqs, st.floats(0.0, 0.2), st.floats(0.0, 0.2))
+def test_monotone_in_detuning(f, d1, d2):
+    lo, hi = sorted((d1, d2))
+    assert tau(f, f + hi, 0.1) <= tau(f, f + lo, 0.1)
+
+
+@given(freqs, freqs, st.floats(0.01, 1.0), st.floats(0.01, 1.0))
+def test_monotone_in_threshold(fa, fb, c1, c2):
+    lo, hi = sorted((c1, c2))
+    assert tau(fa, fb, lo) <= tau(fa, fb, hi) + 1e-12

@@ -1,0 +1,87 @@
+"""Site grid mapping and coverage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect, SiteGrid
+
+
+@pytest.fixture()
+def grid():
+    return SiteGrid(cols=8, rows=6, lb=1.0)
+
+
+def test_rejects_degenerate_dimensions():
+    with pytest.raises(ValueError):
+        SiteGrid(cols=0, rows=5)
+    with pytest.raises(ValueError):
+        SiteGrid(cols=5, rows=5, lb=0.0)
+
+
+def test_extents(grid):
+    assert grid.width == 8.0
+    assert grid.height == 6.0
+    assert grid.num_sites == 48
+    border = grid.border
+    assert (border.xlo, border.ylo, border.xhi, border.yhi) == (0, 0, 8, 6)
+
+
+def test_site_center_and_back(grid):
+    center = grid.site_center(3, 2)
+    assert center == Point(3.5, 2.5)
+    assert grid.site_of(center) == (3, 2)
+
+
+def test_site_center_out_of_grid_raises(grid):
+    with pytest.raises(IndexError):
+        grid.site_center(8, 0)
+
+
+def test_site_of_clamps_outside_points(grid):
+    assert grid.site_of(Point(-5.0, -5.0)) == (0, 0)
+    assert grid.site_of(Point(100.0, 100.0)) == (7, 5)
+
+
+def test_snap_is_idempotent(grid):
+    p = grid.snap(Point(3.2, 4.9))
+    assert grid.snap(p) == p
+
+
+def test_clamp_rect_keeps_size_inside_border(grid):
+    rect = Rect(0.0, 0.0, 3.0, 3.0)
+    clamped = grid.clamp_rect(rect)
+    assert clamped.inside(grid.border)
+    assert (clamped.w, clamped.h) == (3.0, 3.0)
+
+
+def test_sites_covered_macro(grid):
+    rect = Rect(1.5, 1.5, 3.0, 3.0)  # covers cols 0-2, rows 0-2
+    sites = grid.sites_covered(rect)
+    assert len(sites) == 9
+    assert (0, 0) in sites and (2, 2) in sites
+
+
+def test_sites_covered_excludes_touching(grid):
+    rect = Rect(0.5, 0.5, 1.0, 1.0)  # exactly site (0, 0)
+    assert grid.sites_covered(rect) == [(0, 0)]
+
+
+def test_neighbors4_corner_and_interior(grid):
+    assert sorted(grid.neighbors4(0, 0)) == [(0, 1), (1, 0)]
+    assert len(grid.neighbors4(3, 3)) == 4
+
+
+@given(
+    st.integers(0, 7),
+    st.integers(0, 5),
+)
+def test_center_site_round_trip(col, row):
+    grid = SiteGrid(cols=8, rows=6)
+    assert grid.site_of(grid.site_center(col, row)) == (col, row)
+
+
+@given(st.floats(0.1, 5.0))
+def test_round_trip_with_pitch(lb):
+    grid = SiteGrid(cols=5, rows=5, lb=lb)
+    assert grid.site_of(grid.site_center(2, 3)) == (2, 3)

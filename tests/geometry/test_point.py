@@ -1,0 +1,66 @@
+"""Point and distance helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, euclidean, manhattan
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def test_translated_moves_both_axes():
+    p = Point(1.0, 2.0).translated(3.0, -4.0)
+    assert p == Point(4.0, -2.0)
+
+
+def test_point_is_immutable():
+    p = Point(0.0, 0.0)
+    with pytest.raises(AttributeError):
+        p.x = 1.0
+
+
+def test_manhattan_matches_hand_value():
+    assert manhattan(Point(0, 0), Point(3, 4)) == 7.0
+
+
+def test_euclidean_matches_hand_value():
+    assert euclidean(Point(0, 0), Point(3, 4)) == 5.0
+
+
+def test_as_tuple_round_trips():
+    assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+
+@given(coords, coords, coords, coords)
+def test_distances_are_symmetric(x1, y1, x2, y2):
+    a, b = Point(x1, y1), Point(x2, y2)
+    assert manhattan(a, b) == manhattan(b, a)
+    assert euclidean(a, b) == euclidean(b, a)
+
+
+@given(coords, coords, coords, coords)
+def test_euclidean_at_most_manhattan(x1, y1, x2, y2):
+    a, b = Point(x1, y1), Point(x2, y2)
+    assert euclidean(a, b) <= manhattan(a, b) + 1e-6
+
+
+@given(coords, coords)
+def test_self_distance_is_zero(x, y):
+    p = Point(x, y)
+    assert manhattan(p, p) == 0.0
+    assert euclidean(p, p) == 0.0
+
+
+@given(coords, coords, coords, coords, coords, coords)
+def test_euclidean_triangle_inequality(x1, y1, x2, y2, x3, y3):
+    a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+    assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-6
+
+
+def test_manhattan_to_equals_module_function():
+    a, b = Point(1, 2), Point(-3, 5)
+    assert a.manhattan_to(b) == manhattan(a, b)
+    assert math.isclose(a.euclidean_to(b), euclidean(a, b))

@@ -1,0 +1,118 @@
+"""Rectangle predicates and pairwise measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Rect,
+    adjacency_length,
+    gap_between,
+    overlap_area,
+    overlap_length_x,
+    overlap_length_y,
+)
+
+centers = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+sizes = st.floats(0.1, 20, allow_nan=False, allow_infinity=False)
+rects = st.builds(Rect, centers, centers, sizes, sizes)
+
+
+def test_bounds_from_center_and_size():
+    r = Rect(2.0, 3.0, 4.0, 6.0)
+    assert (r.xlo, r.xhi, r.ylo, r.yhi) == (0.0, 4.0, 0.0, 6.0)
+    assert r.area == 24.0
+
+
+def test_from_bounds_round_trips():
+    r = Rect.from_bounds(1.0, 2.0, 5.0, 8.0)
+    assert (r.cx, r.cy, r.w, r.h) == (3.0, 5.0, 4.0, 6.0)
+
+
+def test_from_bounds_rejects_degenerate():
+    with pytest.raises(ValueError):
+        Rect.from_bounds(1.0, 0.0, 0.0, 1.0)
+
+
+def test_overlapping_rects_detected():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(1, 1, 2, 2)
+    assert a.overlaps(b)
+    assert overlap_area(a, b) == pytest.approx(1.0)
+
+
+def test_touching_edges_do_not_overlap():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(2, 0, 2, 2)  # shares the x=1 edge
+    assert not a.overlaps(b)
+    assert gap_between(a, b) == 0.0
+
+
+def test_diagonal_gap_is_euclidean():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(5, 5, 2, 2)  # corner gap of (3, 3)
+    assert gap_between(a, b) == pytest.approx((18) ** 0.5)
+
+
+def test_inside_border():
+    border = Rect(5, 5, 10, 10)
+    assert Rect(5, 5, 2, 2).inside(border)
+    assert not Rect(9.9, 5, 2, 2).inside(border)
+
+
+def test_contains_point_boundary_inclusive():
+    r = Rect(0, 0, 2, 2)
+    from repro.geometry import Point
+
+    assert r.contains_point(Point(1.0, 0.0))
+    assert not r.contains_point(Point(1.1, 0.0))
+
+
+def test_inflated_grows_every_side():
+    r = Rect(0, 0, 2, 2).inflated(0.5)
+    assert (r.w, r.h) == (3.0, 3.0)
+    assert (r.cx, r.cy) == (0.0, 0.0)
+
+
+def test_moved_to_preserves_size():
+    r = Rect(0, 0, 2, 4).moved_to(7, 8)
+    assert (r.cx, r.cy, r.w, r.h) == (7, 8, 2, 4)
+
+
+def test_adjacency_length_facing_edges():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(3, 0, 2, 2)  # gap 1, facing vertically over length 2
+    assert adjacency_length(a, b, reach=2.0) == pytest.approx(2.0)
+
+
+def test_adjacency_length_zero_beyond_reach():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(10, 0, 2, 2)
+    assert adjacency_length(a, b, reach=2.0) == 0.0
+
+
+@given(rects, rects)
+def test_overlap_measures_symmetric(a, b):
+    assert overlap_length_x(a, b) == pytest.approx(overlap_length_x(b, a))
+    assert overlap_length_y(a, b) == pytest.approx(overlap_length_y(b, a))
+    assert overlap_area(a, b) == pytest.approx(overlap_area(b, a))
+    assert gap_between(a, b) == pytest.approx(gap_between(b, a))
+
+
+@given(rects, rects)
+def test_gap_zero_iff_touching_or_overlapping(a, b):
+    gap = gap_between(a, b)
+    assert gap >= 0.0
+    if a.overlaps(b):
+        assert gap == 0.0
+
+
+@given(rects)
+def test_rect_overlaps_itself(r):
+    assert r.overlaps(r)
+    assert overlap_area(r, r) == pytest.approx(r.area, rel=1e-6)
+
+
+@given(rects, rects)
+def test_overlap_area_bounded_by_smaller_rect(a, b):
+    assert overlap_area(a, b) <= min(a.area, b.area) + 1e-6

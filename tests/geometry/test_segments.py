@@ -1,0 +1,70 @@
+"""Segment intersection predicates."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import count_pairwise_crossings, segments_intersect
+
+coords = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+def test_plain_cross_detected():
+    assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+
+def test_parallel_segments_do_not_cross():
+    assert not segments_intersect((0, 0), (2, 0), (0, 1), (2, 1))
+
+
+def test_shared_endpoint_not_a_crossing():
+    assert not segments_intersect((0, 0), (2, 2), (2, 2), (4, 0))
+
+
+def test_collinear_overlap_not_a_crossing():
+    assert not segments_intersect((0, 0), (4, 0), (2, 0), (6, 0))
+
+
+def test_t_junction_not_a_proper_crossing():
+    # q's endpoint lies on p's interior: not a transversal crossing.
+    assert not segments_intersect((0, 0), (4, 0), (2, 0), (2, 3))
+
+
+def test_near_miss_not_detected():
+    assert not segments_intersect((0, 0), (2, 2), (0, 2), (0.9, 1.2))
+
+
+def test_count_pairwise():
+    a = [((0, 0), (4, 4)), ((0, 4), (4, 0))]
+    b = [((0, 2), (4, 2))]
+    assert count_pairwise_crossings(a, b) == 2
+    assert count_pairwise_crossings(b, a) == 2
+
+
+@given(points, points, points, points)
+def test_intersection_is_symmetric(p1, p2, q1, q2):
+    assert segments_intersect(p1, p2, q1, q2) == segments_intersect(
+        q1, q2, p1, p2
+    )
+
+
+@given(points, points, points, points)
+def test_intersection_invariant_to_endpoint_order(p1, p2, q1, q2):
+    assert segments_intersect(p1, p2, q1, q2) == segments_intersect(
+        p2, p1, q2, q1
+    )
+
+
+@given(points, points, points, points, coords, coords)
+def test_intersection_translation_invariant(p1, p2, q1, q2, dx, dy):
+    def shift(p):
+        return (p[0] + dx, p[1] + dy)
+
+    assert segments_intersect(p1, p2, q1, q2) == segments_intersect(
+        shift(p1), shift(p2), shift(q1), shift(q2)
+    )
+
+
+@given(points, points, points)
+def test_segment_never_crosses_degenerate(p1, p2, q):
+    assert not segments_intersect(p1, p2, q, q)

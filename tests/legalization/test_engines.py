@@ -1,0 +1,81 @@
+"""The five named legalization engines, end to end."""
+
+import pytest
+
+from repro.legalization import (
+    ENGINES,
+    PAPER_ENGINE_ORDER,
+    get_engine,
+    run_legalization,
+)
+from repro.metrics import check_legality, integration_ratio, qubit_spacing_violations
+
+
+def test_registry_contents():
+    assert set(PAPER_ENGINE_ORDER) == set(ENGINES)
+    assert get_engine("QGDP").display_name == "qGDP-LG"
+    with pytest.raises(KeyError):
+        get_engine("unknown")
+
+
+def test_engine_traits():
+    assert ENGINES["qgdp"].quantum_qubits
+    assert ENGINES["qgdp"].resonator_method == "integration"
+    assert not ENGINES["tetris"].quantum_qubits
+    assert ENGINES["q-abacus"].resonator_method == "abacus"
+
+
+@pytest.mark.parametrize("engine_name", PAPER_ENGINE_ORDER)
+def test_every_engine_produces_legal_layout(
+    engine_name, fast_config, falcon_gp
+):
+    netlist, grid, gp_positions = falcon_gp
+    netlist.restore(gp_positions)
+    outcome = run_legalization(
+        netlist, grid, get_engine(engine_name), fast_config
+    )
+    assert check_legality(netlist, grid) == []
+    assert outcome.qubit_time_s > 0
+    assert outcome.resonator_time_s > 0
+
+
+def test_quantum_engines_leave_no_spacing_violations(fast_config, falcon_gp):
+    netlist, grid, gp_positions = falcon_gp
+    for engine_name in ("qgdp", "q-abacus", "q-tetris"):
+        netlist.restore(gp_positions)
+        run_legalization(netlist, grid, get_engine(engine_name), fast_config)
+        assert (
+            qubit_spacing_violations(netlist, fast_config.min_qubit_spacing)
+            == []
+        )
+
+
+def test_qgdp_integration_beats_classical(fast_config, falcon_gp):
+    netlist, grid, gp_positions = falcon_gp
+
+    def unified_count(engine_name):
+        netlist.restore(gp_positions)
+        run_legalization(netlist, grid, get_engine(engine_name), fast_config)
+        unified, _total = integration_ratio(netlist)
+        return unified
+
+    assert unified_count("qgdp") >= unified_count("tetris")
+    assert unified_count("qgdp") >= unified_count("abacus")
+
+
+def test_qubits_identical_across_quantum_engines(fast_config, falcon_gp):
+    netlist, grid, gp_positions = falcon_gp
+
+    def qubit_positions(engine_name):
+        netlist.restore(gp_positions)
+        run_legalization(netlist, grid, get_engine(engine_name), fast_config)
+        return {q.index: (q.x, q.y) for q in netlist.qubits}
+
+    assert qubit_positions("qgdp") == qubit_positions("q-tetris")
+
+
+def test_bins_consistent_with_netlist(fast_config, falcon_legalized):
+    netlist, grid, outcome = falcon_legalized
+    for block in netlist.wire_blocks:
+        site = grid.site_of(block.center)
+        assert outcome.bins.occupant(*site) == block.node_id

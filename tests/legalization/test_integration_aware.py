@@ -1,0 +1,114 @@
+"""Integration-aware resonator legalization (Algorithm 1)."""
+
+import pytest
+
+from repro.geometry import Rect, SiteGrid
+from repro.legalization import BinGrid, integration_aware_legalize
+from repro.netlist import (
+    QuantumNetlist,
+    Qubit,
+    Resonator,
+    WireBlock,
+    cluster_count,
+    is_unified,
+)
+
+
+def _resonator(key, positions):
+    r = Resonator(qi=key[0], qj=key[1], wirelength=float(len(positions)))
+    r.blocks = [
+        WireBlock(resonator_key=key, ordinal=k, x=x, y=y)
+        for k, (x, y) in enumerate(positions)
+    ]
+    return r
+
+
+def test_single_resonator_stays_unified():
+    bins = BinGrid(SiteGrid(12, 12))
+    r = _resonator((0, 1), [(5.0 + 0.1 * k, 5.0) for k in range(8)])
+    result = integration_aware_legalize([r], bins)
+    assert is_unified(r)
+    assert result.fallback_blocks == 0
+    assert len(result.placed) == 8
+
+
+def test_two_resonators_each_unified_when_space_permits():
+    bins = BinGrid(SiteGrid(20, 20))
+    r1 = _resonator((0, 1), [(4.0, 4.0)] * 6)
+    r2 = _resonator((2, 3), [(14.0, 14.0)] * 6)
+    integration_aware_legalize([r1, r2], bins)
+    assert is_unified(r1) and is_unified(r2)
+
+
+def test_contested_region_keeps_contiguity():
+    """Both resonators target the same spot; each must stay unified."""
+    bins = BinGrid(SiteGrid(10, 10))
+    r1 = _resonator((0, 1), [(5.0, 5.0)] * 8)
+    r2 = _resonator((2, 3), [(5.0, 5.0)] * 8)
+    integration_aware_legalize([r1, r2], bins)
+    assert is_unified(r1)
+    assert is_unified(r2)
+
+
+def test_blocks_avoid_fixed_macros():
+    bins = BinGrid(SiteGrid(12, 12))
+    macro = Rect(5.5, 5.5, 3.0, 3.0)
+    bins.occupy_rect(macro, ("q", 0))
+    r = _resonator((0, 1), [(5.5, 5.5)] * 6)
+    integration_aware_legalize([r], bins)
+    macro_sites = set(bins.grid.sites_covered(macro))
+    for block in r.blocks:
+        assert bins.grid.site_of(block.center) not in macro_sites
+
+
+def test_displacement_accumulates():
+    bins = BinGrid(SiteGrid(12, 12))
+    r = _resonator((0, 1), [(3.5, 3.5), (4.5, 3.5)])
+    result = integration_aware_legalize([r], bins)
+    assert result.total_displacement >= 0.0
+
+
+def test_out_of_space_raises():
+    bins = BinGrid(SiteGrid(2, 1))
+    r = _resonator((0, 1), [(0.5, 0.5)] * 3)
+    with pytest.raises(RuntimeError):
+        integration_aware_legalize([r], bins)
+
+
+def test_attachment_seeding_starts_at_qubit():
+    """With a netlist, the first block lands adjacent to qubit A's pad."""
+    nl = QuantumNetlist()
+    nl.add_qubit(Qubit(index=0, w=3, h=3, x=1.5, y=1.5))
+    nl.add_qubit(Qubit(index=1, w=3, h=3, x=14.5, y=1.5))
+    r = nl.add_resonator(Resonator(qi=0, qj=1, wirelength=6.0))
+    r.blocks = [
+        WireBlock(resonator_key=r.key, ordinal=k, x=7.5, y=1.5)
+        for k in range(6)
+    ]
+    bins = BinGrid(SiteGrid(18, 8))
+    for q in nl.qubits:
+        bins.occupy_rect(q.rect, q.node_id)
+    integration_aware_legalize([r], bins, nl)
+    qubit_sites = set(bins.grid.sites_covered(nl.qubit(0).rect))
+    first_site = bins.grid.site_of(r.blocks[0].center)
+    adjacent = {
+        nbr
+        for site in qubit_sites
+        for nbr in bins.grid.neighbors4(*site)
+        if nbr not in qubit_sites
+    }
+    assert first_site in adjacent
+    assert is_unified(r)
+
+
+def test_fallback_counted_when_enclosed():
+    """A resonator walled into a 1-site pocket must restart elsewhere."""
+    bins = BinGrid(SiteGrid(8, 8))
+    # Wall off (0,0) leaving it free but isolated.
+    bins.occupy(1, 0, "w")
+    bins.occupy(0, 1, "w")
+    bins.occupy(1, 1, "w")
+    r = _resonator((0, 1), [(0.5, 0.5), (0.5, 0.5)])
+    result = integration_aware_legalize([r], bins)
+    assert result.fallback_blocks == 1
+    assert cluster_count(r) == 2

@@ -1,0 +1,105 @@
+"""LP macro legalization: legality, minimal movement, snapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, SiteGrid
+from repro.legalization import legalize_macros
+
+
+def _check_legal(result, indices, sizes, grid, spacing):
+    assert result.feasible
+    rects = {
+        i: Rect(result.positions[i][0], result.positions[i][1], *sizes[i])
+        for i in indices
+    }
+    border = grid.border
+    for i in indices:
+        assert rects[i].inside(border, tol=1e-6)
+    for a_pos, i in enumerate(indices):
+        for j in indices[a_pos + 1 :]:
+            inflated = rects[i].inflated(spacing / 2.0)
+            other = rects[j].inflated(spacing / 2.0)
+            assert not inflated.overlaps(other, tol=1e-6), (i, j)
+
+
+def test_already_legal_stays_put():
+    grid = SiteGrid(20, 20)
+    positions = {0: (1.5, 1.5), 1: (10.5, 10.5)}
+    sizes = {0: (3.0, 3.0), 1: (3.0, 3.0)}
+    result = legalize_macros([0, 1], positions, sizes, grid)
+    assert result.feasible
+    assert result.total_displacement == pytest.approx(0.0, abs=1e-6)
+    assert result.positions[0] == pytest.approx(positions[0])
+
+
+def test_overlapping_macros_separated():
+    grid = SiteGrid(20, 20)
+    positions = {0: (8.0, 8.0), 1: (9.0, 8.2)}
+    sizes = {0: (3.0, 3.0), 1: (3.0, 3.0)}
+    result = legalize_macros([0, 1], positions, sizes, grid)
+    _check_legal(result, [0, 1], sizes, grid, 0.0)
+
+
+def test_spacing_enforced():
+    grid = SiteGrid(20, 20)
+    positions = {0: (8.0, 8.0), 1: (11.2, 8.0)}  # gap 0.2 < spacing 1
+    sizes = {0: (3.0, 3.0), 1: (3.0, 3.0)}
+    result = legalize_macros([0, 1], positions, sizes, grid, spacing=1.0)
+    _check_legal(result, [0, 1], sizes, grid, 1.0)
+    gap = abs(result.positions[0][0] - result.positions[1][0]) - 3.0
+    assert gap >= 1.0 - 1e-6
+
+
+def test_positions_snap_to_sites():
+    grid = SiteGrid(20, 20)
+    positions = {0: (8.37, 8.91)}
+    sizes = {0: (3.0, 3.0)}
+    result = legalize_macros([0], positions, sizes, grid)
+    x, y = result.positions[0]
+    assert (x - 1.5) == pytest.approx(round(x - 1.5))
+    assert (y - 1.5) == pytest.approx(round(y - 1.5))
+
+
+def test_border_clamping():
+    grid = SiteGrid(10, 10)
+    positions = {0: (0.0, 0.0)}  # centre outside feasible range
+    sizes = {0: (3.0, 3.0)}
+    result = legalize_macros([0], positions, sizes, grid)
+    assert result.feasible
+    assert result.positions[0][0] >= 1.5 - 1e-9
+
+
+def test_infeasible_when_macros_cannot_fit():
+    grid = SiteGrid(5, 5)
+    positions = {i: (2.5, 2.5) for i in range(4)}
+    sizes = {i: (3.0, 3.0) for i in range(4)}
+    result = legalize_macros(list(range(4)), positions, sizes, grid)
+    assert not result.feasible
+    assert result.positions == {}
+
+
+def test_empty_input():
+    grid = SiteGrid(5, 5)
+    result = legalize_macros([], {}, {}, grid)
+    assert result.feasible
+    assert result.total_displacement == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(2, 28), st.floats(2, 28)),
+        min_size=2,
+        max_size=7,
+        unique=True,
+    )
+)
+def test_random_instances_legalize_legally(centers):
+    grid = SiteGrid(40, 40)
+    indices = list(range(len(centers)))
+    positions = {i: centers[i] for i in indices}
+    sizes = {i: (3.0, 3.0) for i in indices}
+    result = legalize_macros(indices, positions, sizes, grid, spacing=1.0)
+    _check_legal(result, indices, sizes, grid, 1.0)

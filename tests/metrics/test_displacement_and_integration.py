@@ -1,0 +1,69 @@
+"""Displacement stats and integration ratios."""
+
+import pytest
+
+from repro.metrics import displacement_stats, integration_ratio, total_clusters
+from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+
+
+def test_displacement_zero_for_identical_snapshots():
+    snapshot = {("q", 0): (1.0, 2.0), ("b", (0, 1), 0): (3.0, 4.0)}
+    stats = displacement_stats(snapshot, dict(snapshot))
+    assert stats.total == 0.0
+    assert stats.count == 2
+
+
+def test_displacement_manhattan():
+    before = {("q", 0): (0.0, 0.0)}
+    after = {("q", 0): (3.0, 4.0)}
+    stats = displacement_stats(before, after)
+    assert stats.total == pytest.approx(7.0)
+    assert stats.maximum == pytest.approx(7.0)
+    assert stats.mean == pytest.approx(7.0)
+
+
+def test_displacement_prefix_filter():
+    before = {("q", 0): (0.0, 0.0), ("b", (0, 1), 0): (0.0, 0.0)}
+    after = {("q", 0): (1.0, 0.0), ("b", (0, 1), 0): (5.0, 0.0)}
+    assert displacement_stats(before, after, prefix="q").total == 1.0
+    assert displacement_stats(before, after, prefix="b").total == 5.0
+
+
+def test_displacement_ignores_missing_nodes():
+    before = {("q", 0): (0.0, 0.0), ("q", 1): (0.0, 0.0)}
+    after = {("q", 0): (2.0, 0.0)}
+    stats = displacement_stats(before, after)
+    assert stats.count == 1
+
+
+def test_empty_displacement():
+    stats = displacement_stats({}, {})
+    assert stats == displacement_stats({"x": (0, 0)}, {})
+
+
+def _netlist_with_clusters():
+    nl = QuantumNetlist()
+    nl.add_qubit(Qubit(index=0, w=3, h=3))
+    nl.add_qubit(Qubit(index=1, w=3, h=3))
+    nl.add_qubit(Qubit(index=2, w=3, h=3))
+    r1 = nl.add_resonator(Resonator(qi=0, qj=1, wirelength=2.0))
+    r1.blocks = [
+        WireBlock(resonator_key=r1.key, ordinal=0, x=0.5, y=0.5),
+        WireBlock(resonator_key=r1.key, ordinal=1, x=1.5, y=0.5),
+    ]
+    r2 = nl.add_resonator(Resonator(qi=1, qj=2, wirelength=2.0))
+    r2.blocks = [
+        WireBlock(resonator_key=r2.key, ordinal=0, x=5.5, y=0.5),
+        WireBlock(resonator_key=r2.key, ordinal=1, x=8.5, y=0.5),  # split
+    ]
+    return nl
+
+
+def test_integration_ratio_counts_unified():
+    nl = _netlist_with_clusters()
+    assert integration_ratio(nl) == (1, 2)
+
+
+def test_total_clusters_sums():
+    nl = _netlist_with_clusters()
+    assert total_clusters(nl) == 1 + 2

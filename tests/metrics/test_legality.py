@@ -1,0 +1,79 @@
+"""Legality checks detect planted violations."""
+
+from repro.geometry import SiteGrid
+from repro.metrics import check_legality, is_legal, qubit_spacing_violations
+from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+
+
+def _simple_netlist(q0_pos, q1_pos, block_sites=()):
+    nl = QuantumNetlist()
+    nl.add_qubit(Qubit(index=0, w=3, h=3, x=q0_pos[0], y=q0_pos[1]))
+    nl.add_qubit(Qubit(index=1, w=3, h=3, x=q1_pos[0], y=q1_pos[1]))
+    if block_sites:
+        r = nl.add_resonator(Resonator(qi=0, qj=1, wirelength=1.0))
+        r.blocks = [
+            WireBlock(resonator_key=r.key, ordinal=k, x=x, y=y)
+            for k, (x, y) in enumerate(block_sites)
+        ]
+    return nl
+
+
+def test_clean_layout_is_legal():
+    nl = _simple_netlist((1.5, 1.5), (10.5, 10.5), [(5.5, 5.5)])
+    grid = SiteGrid(16, 16)
+    assert is_legal(nl, grid)
+    assert check_legality(nl, grid) == []
+
+
+def test_qubit_overlap_detected():
+    nl = _simple_netlist((5.5, 5.5), (6.5, 5.5))
+    grid = SiteGrid(16, 16)
+    violations = check_legality(nl, grid)
+    assert any(v.kind == "overlap" for v in violations)
+
+
+def test_border_violation_detected():
+    nl = _simple_netlist((1.0, 1.5), (10.5, 10.5))  # q0 sticks out left
+    grid = SiteGrid(16, 16)
+    violations = check_legality(nl, grid)
+    assert any(v.kind == "border" for v in violations)
+
+
+def test_block_on_qubit_detected():
+    nl = _simple_netlist((5.5, 5.5), (12.5, 12.5), [(5.5, 5.5)])
+    grid = SiteGrid(16, 16)
+    violations = check_legality(nl, grid)
+    assert any(
+        v.kind == "overlap"
+        and {v.id_a[0], v.id_b[0]} == {"q", "b"}
+        for v in violations
+    )
+
+
+def test_block_block_overlap_detected():
+    nl = _simple_netlist((1.5, 1.5), (12.5, 12.5), [(6.5, 6.5), (6.7, 6.5)])
+    grid = SiteGrid(16, 16)
+    violations = check_legality(nl, grid)
+    assert any(
+        v.kind == "overlap" and v.id_a[0] == "b" and v.id_b[0] == "b"
+        for v in violations
+    )
+
+
+def test_spacing_violation_reported_with_amount():
+    nl = _simple_netlist((5.5, 5.5), (9.0, 5.5))  # gap 0.5 < 1.0
+    violations = qubit_spacing_violations(nl, min_spacing=1.0)
+    assert len(violations) == 1
+    assert violations[0].kind == "qubit_spacing"
+    assert violations[0].amount > 0.4
+
+
+def test_spacing_satisfied_no_violation():
+    nl = _simple_netlist((5.5, 5.5), (9.5, 5.5))  # gap exactly 1.0
+    assert qubit_spacing_violations(nl, min_spacing=1.0) == []
+
+
+def test_violation_str_readable():
+    nl = _simple_netlist((5.5, 5.5), (6.5, 5.5))
+    violation = check_legality(nl, SiteGrid(16, 16))[0]
+    assert "overlap" in str(violation)

@@ -1,0 +1,98 @@
+"""Wire-block cluster extraction."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist import Resonator, WireBlock, block_clusters, cluster_count, is_unified
+
+
+def _resonator_at(sites: list) -> Resonator:
+    """A resonator with one unit block at each (col, row) site."""
+    r = Resonator(qi=0, qj=1, wirelength=float(max(1, len(sites))))
+    r.blocks = [
+        WireBlock(resonator_key=r.key, ordinal=k, x=c + 0.5, y=w + 0.5)
+        for k, (c, w) in enumerate(sites)
+    ]
+    return r
+
+
+def test_empty_resonator_has_no_clusters():
+    r = Resonator(qi=0, qj=1, wirelength=1.0)
+    assert block_clusters(r) == []
+    assert cluster_count(r) == 0
+
+
+def test_contiguous_row_is_one_cluster():
+    r = _resonator_at([(0, 0), (1, 0), (2, 0), (3, 0)])
+    assert cluster_count(r) == 1
+    assert is_unified(r)
+
+
+def test_gap_splits_cluster():
+    r = _resonator_at([(0, 0), (1, 0), (3, 0)])
+    clusters = block_clusters(r)
+    assert len(clusters) == 2
+    assert [len(c) for c in clusters] == [2, 1]
+
+
+def test_diagonal_contact_does_not_merge():
+    r = _resonator_at([(0, 0), (1, 1)])
+    assert cluster_count(r) == 2
+
+
+def test_l_shape_is_unified():
+    r = _resonator_at([(0, 0), (0, 1), (1, 1)])
+    assert is_unified(r)
+
+
+def test_clusters_ordered_by_smallest_ordinal():
+    r = _resonator_at([(5, 5), (0, 0), (1, 0)])
+    clusters = block_clusters(r)
+    assert clusters[0][0].ordinal == 0  # block at (5,5) seeds first cluster
+    assert {b.ordinal for b in clusters[1]} == {1, 2}
+
+
+@given(
+    st.sets(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=25
+    )
+)
+def test_cluster_partition_is_exact(sites):
+    r = _resonator_at(sorted(sites))
+    clusters = block_clusters(r)
+    seen = [b for cluster in clusters for b in cluster]
+    assert len(seen) == len(r.blocks)
+    assert {id(b) for b in seen} == {id(b) for b in r.blocks}
+
+
+@given(
+    st.sets(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=25
+    )
+)
+def test_cluster_count_matches_grid_components(sites):
+    """Cluster count equals 4-connected component count of the site set."""
+    sites = set(sites)
+    # brute-force flood fill
+    remaining = set(sites)
+    components = 0
+    while remaining:
+        components += 1
+        stack = [remaining.pop()]
+        while stack:
+            c, w = stack.pop()
+            for nbr in ((c - 1, w), (c + 1, w), (c, w - 1), (c, w + 1)):
+                if nbr in remaining:
+                    remaining.discard(nbr)
+                    stack.append(nbr)
+    r = _resonator_at(sorted(sites))
+    assert cluster_count(r) == components
+
+
+def test_cluster_respects_lb_scaling():
+    r = Resonator(qi=0, qj=1, wirelength=2.0)
+    r.blocks = [
+        WireBlock(resonator_key=r.key, ordinal=0, size=2.0, x=1.0, y=1.0),
+        WireBlock(resonator_key=r.key, ordinal=1, size=2.0, x=3.0, y=1.0),
+    ]
+    assert cluster_count(r, lb=2.0) == 1

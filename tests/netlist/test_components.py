@@ -1,0 +1,51 @@
+"""Component dataclasses: qubits, wire blocks, resonators."""
+
+import pytest
+
+from repro.netlist import Qubit, Resonator, WireBlock
+
+
+def test_qubit_rect_follows_position():
+    q = Qubit(index=3, w=3.0, h=3.0, x=5.0, y=6.0)
+    assert (q.rect.cx, q.rect.cy) == (5.0, 6.0)
+    q.move_to(1.0, 2.0)
+    assert (q.rect.cx, q.rect.cy) == (1.0, 2.0)
+
+
+def test_qubit_identity():
+    q = Qubit(index=7, w=3, h=3)
+    assert q.name == "Q7"
+    assert q.node_id == ("q", 7)
+
+
+def test_wire_block_identity_and_rect():
+    b = WireBlock(resonator_key=(2, 5), ordinal=3, size=1.0, x=1.5, y=2.5)
+    assert b.name == "R(2,5)#3"
+    assert b.node_id == ("b", (2, 5), 3)
+    assert b.rect.area == 1.0
+
+
+def test_resonator_canonicalizes_endpoints():
+    r = Resonator(qi=5, qj=2, wirelength=10.0)
+    assert r.key == (2, 5)
+    assert r.name == "R(2,5)"
+
+
+def test_resonator_rejects_self_loop():
+    with pytest.raises(ValueError):
+        Resonator(qi=3, qj=3, wirelength=1.0)
+
+
+def test_resonator_rejects_nonpositive_length():
+    with pytest.raises(ValueError):
+        Resonator(qi=0, qj=1, wirelength=0.0)
+
+
+def test_block_positions_reflect_blocks():
+    r = Resonator(qi=0, qj=1, wirelength=2.0)
+    r.blocks = [
+        WireBlock(resonator_key=r.key, ordinal=0, x=1.0, y=1.0),
+        WireBlock(resonator_key=r.key, ordinal=1, x=2.0, y=2.0),
+    ]
+    assert r.num_blocks == 2
+    assert [p.as_tuple() for p in r.block_positions()] == [(1.0, 1.0), (2.0, 2.0)]

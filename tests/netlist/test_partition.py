@@ -1,0 +1,84 @@
+"""Resonator reshaping and partitioning (Eq. 6)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist import Resonator, blocks_for_resonator, partition_resonator
+from repro.netlist.partition import num_blocks, reshape_to_rectangle
+
+
+def test_num_blocks_matches_eq6():
+    # lpad * L = n * lb^2  ->  n = ceil(1.0 * 11.5 / 1.0) = 12
+    assert num_blocks(11.5, pad=1.0, lb=1.0) == 12
+
+
+def test_num_blocks_scales_with_pad_and_lb():
+    assert num_blocks(10.0, pad=2.0, lb=1.0) == 20
+    assert num_blocks(10.0, pad=1.0, lb=2.0) == 3  # ceil(10/4)
+
+
+def test_num_blocks_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        num_blocks(0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        num_blocks(1.0, 0.0, 1.0)
+
+
+@given(st.floats(0.1, 500.0), st.floats(0.1, 5.0), st.floats(0.1, 5.0))
+def test_num_blocks_covers_area(length, pad, lb):
+    n = num_blocks(length, pad, lb)
+    assert n >= 1
+    assert n * lb * lb >= pad * length - 1e-6  # reserved area >= wire area
+    assert (n - 1) * lb * lb < pad * length + lb * lb  # no gross over-reserve
+
+
+def test_reshape_examples():
+    assert reshape_to_rectangle(1) == (1, 1)
+    assert reshape_to_rectangle(6) == (3, 2)
+    assert reshape_to_rectangle(12) == (4, 3)
+
+
+@given(st.integers(1, 2000))
+def test_reshape_is_near_square_and_sufficient(n):
+    cols, rows = reshape_to_rectangle(n)
+    assert cols * rows >= n
+    assert cols >= rows
+    assert (cols - 1) * rows < n  # tight: one fewer column would not fit
+
+
+def test_blocks_inherit_frequency_and_key():
+    r = Resonator(qi=1, qj=4, wirelength=6.0, frequency=7.05)
+    blocks = blocks_for_resonator(r, pad=1.0, lb=1.0)
+    assert len(blocks) == 6
+    assert all(b.frequency == 7.05 for b in blocks)
+    assert all(b.resonator_key == (1, 4) for b in blocks)
+    assert [b.ordinal for b in blocks] == list(range(6))
+
+
+def test_partition_seeds_between_anchors():
+    r = Resonator(qi=0, qj=1, wirelength=5.0)
+    blocks = partition_resonator(r, 1.0, 1.0, (0.0, 0.0), (12.0, 0.0))
+    xs = [b.x for b in blocks]
+    assert xs == sorted(xs)
+    assert 0.0 < min(xs) and max(xs) < 12.0
+    assert all(b.y == 0.0 for b in blocks)
+
+
+def test_partition_replaces_previous_blocks():
+    r = Resonator(qi=0, qj=1, wirelength=5.0)
+    partition_resonator(r, 1.0, 1.0, (0.0, 0.0), (1.0, 1.0))
+    first = list(r.blocks)
+    partition_resonator(r, 1.0, 1.0, (0.0, 0.0), (1.0, 1.0))
+    assert len(r.blocks) == len(first)
+    assert r.blocks is not first
+
+
+def test_wirelength_drives_paper_cell_counts():
+    # The paper's Table III implies ~11.6 blocks per resonator; the
+    # reference length 11.3 at 7 GHz scaled by band must stay in 11-12.
+    for freq in (6.8, 6.9, 7.0, 7.1, 7.2):
+        n = num_blocks(11.3 * 7.0 / freq, pad=1.0, lb=1.0)
+        assert n in (11, 12)

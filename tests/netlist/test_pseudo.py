@@ -1,0 +1,78 @@
+"""Snake vs pseudo connection nets (Fig. 5)."""
+
+from repro.netlist import (
+    ConnectionStyle,
+    Resonator,
+    blocks_for_resonator,
+    build_block_nets,
+    pseudo_connection_nets,
+    snake_connection_nets,
+)
+from repro.netlist.partition import reshape_to_rectangle
+from repro.netlist.pseudo import block_node, qubit_node
+
+
+def _resonator(n_blocks: int) -> Resonator:
+    r = Resonator(qi=0, qj=1, wirelength=float(n_blocks))
+    blocks_for_resonator(r, pad=1.0, lb=1.0)
+    assert r.num_blocks == n_blocks
+    return r
+
+
+def test_snake_chain_structure():
+    r = _resonator(4)
+    nets = snake_connection_nets(r)
+    assert nets[0] == (qubit_node(0), block_node((0, 1), 0))
+    assert nets[-1] == (block_node((0, 1), 3), qubit_node(1))
+    assert len(nets) == 5  # q-b0, b0-b1, b1-b2, b2-b3, b3-q
+
+
+def test_snake_with_no_blocks_joins_qubits():
+    r = Resonator(qi=0, qj=1, wirelength=1.0)
+    assert snake_connection_nets(r) == [(qubit_node(0), qubit_node(1))]
+
+
+def test_pseudo_is_superset_of_snake():
+    r = _resonator(6)
+    snake = {frozenset(n) for n in snake_connection_nets(r)}
+    pseudo = {frozenset(n) for n in pseudo_connection_nets(r)}
+    assert snake <= pseudo
+    assert len(pseudo) > len(snake)
+
+
+def test_pseudo_extras_are_grid_adjacent():
+    n = 6
+    r = _resonator(n)
+    cols, _rows = reshape_to_rectangle(n)  # (3, 2)
+    snake = {frozenset(p) for p in snake_connection_nets(r)}
+    extra = [
+        p for p in pseudo_connection_nets(r) if frozenset(p) not in snake
+    ]
+    assert extra, "pseudo connections must add nets for a 3x2 rectangle"
+    for u, v in extra:
+        # Both endpoints are blocks, adjacent in the reshaped rectangle.
+        assert u[0] == "b" and v[0] == "b"
+        i, j = u[2], v[2]
+        ci, ri = i % cols, i // cols
+        cj, rj = j % cols, j // cols
+        assert abs(ci - cj) + abs(ri - rj) == 1
+
+
+def test_pseudo_no_duplicate_nets():
+    r = _resonator(12)
+    nets = pseudo_connection_nets(r)
+    assert len({frozenset(n) for n in nets}) == len(nets)
+
+
+def test_single_block_pseudo_equals_snake():
+    r = _resonator(1)
+    assert pseudo_connection_nets(r) == snake_connection_nets(r)
+
+
+def test_build_block_nets_dispatch():
+    r1, r2 = _resonator(4), _resonator(4)
+    r2.qi, r2.qj = 2, 3
+    snake_total = build_block_nets([r1, r2], ConnectionStyle.SNAKE)
+    pseudo_total = build_block_nets([r1, r2], ConnectionStyle.PSEUDO)
+    assert len(snake_total) == 10
+    assert len(pseudo_total) > len(snake_total)

@@ -1,0 +1,67 @@
+"""Resonator connection traces."""
+
+from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+from repro.netlist.traces import mst_segments, qubit_boundary, resonator_trace
+
+
+def _netlist_with_blocks(sites: list) -> QuantumNetlist:
+    nl = QuantumNetlist()
+    nl.add_qubit(Qubit(index=0, w=3, h=3, x=1.5, y=1.5))
+    nl.add_qubit(Qubit(index=1, w=3, h=3, x=13.5, y=1.5))
+    r = nl.add_resonator(Resonator(qi=0, qj=1, wirelength=float(len(sites))))
+    r.blocks = [
+        WireBlock(resonator_key=r.key, ordinal=k, x=c + 0.5, y=w + 0.5)
+        for k, (c, w) in enumerate(sites)
+    ]
+    return nl
+
+
+def test_mst_segments_empty_for_single_set():
+    assert mst_segments([[(0.0, 0.0)]]) == []
+
+
+def test_mst_spans_all_terminal_sets():
+    sets = [[(0.0, 0.0)], [(5.0, 0.0)], [(10.0, 0.0)]]
+    segments = mst_segments(sets)
+    assert len(segments) == 2
+
+
+def test_mst_uses_closest_points_between_sets():
+    sets = [[(0.0, 0.0), (4.0, 0.0)], [(5.0, 0.0), (20.0, 0.0)]]
+    segments = mst_segments(sets)
+    assert segments == [((4.0, 0.0), (5.0, 0.0))]
+
+
+def test_qubit_boundary_points_on_perimeter():
+    q = Qubit(index=0, w=3, h=3, x=1.5, y=1.5)
+    for x, y in qubit_boundary(q):
+        on_x_edge = abs(x - 0.0) < 1e-9 or abs(x - 3.0) < 1e-9
+        on_y_edge = abs(y - 0.0) < 1e-9 or abs(y - 3.0) < 1e-9
+        assert on_x_edge or on_y_edge
+
+
+def test_unified_adjacent_resonator_has_short_trace():
+    # Blocks run from qubit 0's right edge to qubit 1's left edge.
+    nl = _netlist_with_blocks([(c, 1) for c in range(3, 12)])
+    trace = resonator_trace(nl, nl.resonator(0, 1))
+    total = sum(
+        ((x2 - x1) ** 2 + (y2 - y1) ** 2) ** 0.5
+        for (x1, y1), (x2, y2) in trace
+    )
+    assert total < 2.0  # attachments only, no chords
+
+
+def test_split_resonator_trace_has_chord():
+    nl = _netlist_with_blocks([(3, 1), (4, 1), (9, 1), (10, 1)])
+    trace = resonator_trace(nl, nl.resonator(0, 1))
+    lengths = sorted(
+        ((x2 - x1) ** 2 + (y2 - y1) ** 2) ** 0.5
+        for (x1, y1), (x2, y2) in trace
+    )
+    assert lengths[-1] >= 4.0  # the chord across the gap
+
+
+def test_trace_segment_count_is_terminals_minus_one():
+    nl = _netlist_with_blocks([(3, 1), (7, 1), (11, 1)])  # 3 clusters
+    trace = resonator_trace(nl, nl.resonator(0, 1))
+    assert len(trace) == 4  # 2 qubits + 3 clusters -> 5 terminals

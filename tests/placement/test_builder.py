@@ -1,0 +1,81 @@
+"""Layout builder: substrate sizing and netlist instantiation."""
+
+import math
+
+import pytest
+
+from repro.core.config import QGDPConfig
+from repro.placement import build_layout, size_grid
+from repro.topologies import PAPER_TOPOLOGIES, get_topology
+
+
+@pytest.mark.parametrize("name", PAPER_TOPOLOGIES)
+def test_build_layout_counts(name):
+    cfg = QGDPConfig(gp_iterations=1)
+    topo = get_topology(name)
+    netlist, grid = build_layout(topo, cfg)
+    assert netlist.num_qubits == topo.num_qubits
+    assert netlist.num_resonators == topo.num_edges
+    # Eq. 6 with the default reference length gives 11-12 blocks each.
+    for resonator in netlist.resonators:
+        assert resonator.num_blocks in (11, 12)
+
+
+@pytest.mark.parametrize("name", PAPER_TOPOLOGIES)
+def test_qubits_seeded_inside_border(name):
+    cfg = QGDPConfig(gp_iterations=1)
+    netlist, grid = build_layout(get_topology(name), cfg)
+    border = grid.border
+    for qubit in netlist.qubits:
+        assert qubit.rect.inside(border)
+
+
+def test_cell_counts_near_paper_table3():
+    # Paper Table III #Cells: grid 490, falcon 354, eagle 1801.
+    paper = {"grid": 490, "falcon": 354, "eagle": 1801}
+    cfg = QGDPConfig(gp_iterations=1)
+    for name, expected in paper.items():
+        netlist, _ = build_layout(get_topology(name), cfg)
+        assert abs(netlist.num_cells - expected) / expected < 0.06
+
+
+def test_utilization_not_exceeded():
+    cfg = QGDPConfig(gp_iterations=1)
+    for name in ("grid", "falcon"):
+        netlist, grid = build_layout(get_topology(name), cfg)
+        total_area = sum(q.rect.area for q in netlist.qubits) + sum(
+            b.rect.area for b in netlist.wire_blocks
+        )
+        assert total_area <= cfg.utilization * grid.width * grid.height * 1.02
+
+
+def test_min_pair_spacing_feasible():
+    """Closest seeded qubit pair leaves room for size + spacing."""
+    cfg = QGDPConfig(gp_iterations=1)
+    for name in PAPER_TOPOLOGIES:
+        netlist, _grid = build_layout(get_topology(name), cfg)
+        qs = netlist.qubits
+        required = cfg.qubit_size + cfg.min_qubit_spacing
+        min_dist = min(
+            math.hypot(a.x - b.x, a.y - b.y)
+            for i, a in enumerate(qs)
+            for b in qs[i + 1 :]
+        )
+        assert min_dist >= required - 1.0  # snapping slack of one site
+
+
+def test_size_grid_respects_total_area():
+    cfg = QGDPConfig(gp_iterations=1)
+    topo = get_topology("grid")
+    grid, scale, offset = size_grid(topo, cfg, total_area=700.0)
+    assert grid.width * grid.height * cfg.utilization >= 700.0 * 0.95
+    assert scale > 0
+    assert offset == (0.0, 0.0)
+
+
+def test_resonator_wirelength_scales_with_frequency():
+    cfg = QGDPConfig(gp_iterations=1)
+    netlist, _ = build_layout(get_topology("grid"), cfg)
+    for r in netlist.resonators:
+        expected = cfg.resonator_length * 7.0 / r.frequency
+        assert r.wirelength == pytest.approx(expected)

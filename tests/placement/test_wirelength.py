@@ -1,0 +1,28 @@
+"""HPWL helpers."""
+
+import pytest
+
+from repro.placement import hpwl, total_hpwl
+
+
+def test_hpwl_empty_is_zero():
+    assert hpwl([]) == 0.0
+
+
+def test_hpwl_single_point_zero():
+    assert hpwl([(3.0, 4.0)]) == 0.0
+
+
+def test_hpwl_two_pin():
+    assert hpwl([(0.0, 0.0), (3.0, 4.0)]) == 7.0
+
+
+def test_hpwl_bounding_box():
+    pts = [(0, 0), (1, 5), (4, 2)]
+    assert hpwl(pts) == 4 + 5
+
+
+def test_total_hpwl_sums_nets():
+    positions = {"a": (0.0, 0.0), "b": (1.0, 1.0), "c": (3.0, 0.0)}
+    nets = [("a", "b"), ("b", "c")]
+    assert total_hpwl(nets, positions) == pytest.approx(2.0 + 3.0)

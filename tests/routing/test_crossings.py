@@ -1,0 +1,94 @@
+"""Crossing counting on synthetic layouts."""
+
+from repro.geometry import SiteGrid
+from repro.legalization import BinGrid
+from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+from repro.routing import count_crossings
+
+
+def _netlist(qubit_specs, resonator_specs, cols=20, rows=12):
+    nl = QuantumNetlist()
+    for index, x, y in qubit_specs:
+        nl.add_qubit(Qubit(index=index, w=3, h=3, x=x, y=y))
+    bins = BinGrid(SiteGrid(cols, rows))
+    for q in nl.qubits:
+        bins.occupy_rect(q.rect, q.node_id)
+    for (qi, qj), sites in resonator_specs:
+        r = nl.add_resonator(
+            Resonator(qi=qi, qj=qj, wirelength=max(1.0, float(len(sites))))
+        )
+        r.blocks = [
+            WireBlock(resonator_key=r.key, ordinal=k, x=c + 0.5, y=w + 0.5)
+            for k, (c, w) in enumerate(sites)
+        ]
+        for block in r.blocks:
+            bins.occupy(*bins.grid.site_of(block.center), block.node_id)
+    return (nl, bins)
+
+
+def test_unified_in_channel_resonator_has_no_crossings():
+    nl, bins = _netlist(
+        [(0, 1.5, 1.5), (1, 13.5, 1.5)],
+        [((0, 1), [(c, 1) for c in range(3, 12)])],
+    )
+    report = count_crossings(nl, bins)
+    assert report.total == 0
+
+
+def test_split_resonator_bridges_interposed_blocks():
+    # Resonator (0,1) split around resonator (2,3)'s blocks in its channel.
+    nl, bins = _netlist(
+        [(0, 1.5, 1.5), (1, 17.5, 1.5), (2, 1.5, 9.5), (3, 17.5, 9.5)],
+        [
+            ((0, 1), [(3, 1), (4, 1), (14, 1), (15, 1)]),
+            ((2, 3), [(c, 1) for c in range(7, 12)]),  # squatting the channel
+        ],
+    )
+    report = count_crossings(nl, bins)
+    assert report.total >= 1
+    assert len(report.bridged_blocks[(0, 1)]) >= 1
+
+
+def test_bridged_blocks_count_distinct_foreign_blocks():
+    nl, bins = _netlist(
+        [(0, 1.5, 1.5), (1, 17.5, 1.5), (2, 1.5, 9.5), (3, 17.5, 9.5)],
+        [
+            ((0, 1), [(3, 1), (15, 1)]),
+            ((2, 3), [(c, 1) for c in range(5, 14)]),
+        ],
+    )
+    report = count_crossings(nl, bins)
+    bridged = report.bridged_blocks[(0, 1)]
+    assert all(owner[1] == (2, 3) for owner in bridged)
+    assert len(bridged) == len(set(bridged))
+
+
+def test_crossing_traces_intersecting_in_free_space():
+    # Two diagonal resonators whose chords cross in empty space.
+    nl, bins = _netlist(
+        [
+            (0, 1.5, 1.5),
+            (1, 17.5, 9.5),
+            (2, 1.5, 9.5),
+            (3, 17.5, 1.5),
+        ],
+        [
+            ((0, 1), [(4, 3), (14, 8)]),  # split: chord crosses the die
+            ((2, 3), [(4, 8), (14, 3)]),  # split the other way
+        ],
+    )
+    report = count_crossings(nl, bins)
+    assert sum(report.pair_crossings.values()) >= 1
+
+
+def test_per_resonator_attribution():
+    nl, bins = _netlist(
+        [(0, 1.5, 1.5), (1, 17.5, 1.5), (2, 1.5, 9.5), (3, 17.5, 9.5)],
+        [
+            ((0, 1), [(3, 1), (15, 1)]),
+            ((2, 3), [(c, 1) for c in range(5, 14)]),
+        ],
+    )
+    report = count_crossings(nl, bins)
+    assert report.per_resonator[(0, 1)] >= 1
+    assert set(report.per_resonator) == {(0, 1), (2, 3)}

@@ -1,0 +1,89 @@
+"""Property tests: the maze router is a true shortest-path search."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import SiteGrid
+from repro.legalization import BinGrid
+from repro.routing import MazeRouter
+
+
+def _reference_cost(bins, source, target, own_key, router):
+    """Plain Dijkstra over the same cost model (independent implementation)."""
+    grid = bins.grid
+    dist = {source: 0.0}
+    heap = [(0.0, source)]
+    visited = set()
+    while heap:
+        d, site = heapq.heappop(heap)
+        if site in visited:
+            continue
+        visited.add(site)
+        if site == target:
+            return d
+        for nbr in grid.neighbors4(*site):
+            if nbr in visited:
+                continue
+            if nbr == target:
+                cost = router._site_cost(nbr, own_key)
+                cost = router.step_cost if cost is None else cost
+            else:
+                cost = router._site_cost(nbr, own_key)
+                if cost is None:
+                    continue
+            nd = d + cost
+            if nbr not in dist or nd < dist[nbr]:
+                dist[nbr] = nd
+                heapq.heappush(heap, (nd, nbr))
+    return None
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    occupied=st.sets(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=25
+    ),
+    foreign=st.sets(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=25
+    ),
+    source=st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    target=st.tuples(st.integers(0, 7), st.integers(0, 7)),
+)
+def test_route_cost_matches_reference_dijkstra(occupied, foreign, source, target):
+    bins = BinGrid(SiteGrid(8, 8))
+    for site in sorted(occupied - {source, target}):
+        bins.occupy(site[0], site[1], ("q", 0))
+    for site in sorted(foreign - occupied - {source, target}):
+        bins.occupy(site[0], site[1], ("b", (5, 6), 0))
+    router = MazeRouter(bins)
+    result = router.route({source}, {target}, own_key=(0, 1))
+    expected = _reference_cost(bins, source, target, (0, 1), router)
+    if expected is None:
+        assert result is None
+    else:
+        assert result is not None
+        assert abs(result.cost - expected) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    foreign=st.sets(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=30
+    ),
+    source=st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    target=st.tuples(st.integers(0, 7), st.integers(0, 7)),
+)
+def test_route_crossings_match_path_owners(foreign, source, target):
+    bins = BinGrid(SiteGrid(8, 8))
+    for site in sorted(foreign - {source, target}):
+        bins.occupy(site[0], site[1], ("b", (5, 6), 0))
+    result = MazeRouter(bins).route({source}, {target}, own_key=(0, 1))
+    assert result is not None  # no impassable sites in this instance
+    recount = [
+        bins.occupant(*site)
+        for site in result.path
+        if bins.occupant(*site) is not None
+    ]
+    assert result.crossings == recount

@@ -1,0 +1,74 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_topologies_listing(capsys):
+    assert main(["topologies"]) == 0
+    out = capsys.readouterr().out
+    for name in ("grid", "falcon", "eagle", "aspen11", "aspenm", "xtree"):
+        assert name in out
+
+
+def test_benchmarks_listing(capsys):
+    assert main(["benchmarks"]) == 0
+    out = capsys.readouterr().out
+    assert "bv-4" in out and "qgan-9" in out
+
+
+def test_flow_command_runs(capsys, tmp_path):
+    path = tmp_path / "layout.json"
+    code = main(
+        ["flow", "grid", "--engine", "qgdp", "--no-dp", "--json", str(path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "[gp]" in out and "[lg]" in out and "[dp]" not in out
+    data = json.loads(path.read_text())
+    assert len(data["qubits"]) == 25
+
+
+def test_flow_render(capsys):
+    assert main(["flow", "grid", "--no-dp", "--render"]) == 0
+    out = capsys.readouterr().out
+    assert "QQQ" in out  # a rendered qubit macro row
+
+
+def test_fidelity_command(capsys):
+    code = main(
+        [
+            "fidelity",
+            "grid",
+            "--benchmarks",
+            "bv-4",
+            "--engines",
+            "qgdp",
+            "tetris",
+            "--seeds",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "qGDP-LG" in out and "Tetris" in out
+
+
+def test_tables_command(capsys):
+    code = main(["tables", "--which", "table3", "--topologies", "grid"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "LG Iedge" in out
+
+
+def test_parser_rejects_unknown_topology():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["flow", "nonexistent"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,28 @@
+"""Public API surface."""
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_paper_constants():
+    assert len(repro.PAPER_TOPOLOGIES) == 6
+    assert len(repro.PAPER_BENCHMARKS) == 7
+    assert len(repro.PAPER_ENGINE_ORDER) == 5
+
+
+def test_quickstart_snippet_runs():
+    flow, result = repro.run_flow(
+        "grid",
+        engine="qgdp",
+        detailed=False,
+        config=repro.QGDPConfig(gp_iterations=30),
+    )
+    assert result.final.metrics["legality_violations"] == 0

@@ -1,0 +1,83 @@
+"""ASCII rendering and export round trips."""
+
+import csv
+import json
+
+import pytest
+
+from repro.geometry import SiteGrid
+from repro.legalization import BinGrid
+from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+from repro.visualization import (
+    layout_to_dict,
+    render_layout,
+    render_occupancy,
+    save_layout_json,
+    save_metrics_csv,
+)
+
+
+@pytest.fixture()
+def small_layout():
+    nl = QuantumNetlist(name="demo")
+    nl.add_qubit(Qubit(index=0, w=3, h=3, x=1.5, y=1.5, frequency=5.0))
+    nl.add_qubit(Qubit(index=1, w=3, h=3, x=8.5, y=1.5, frequency=5.07))
+    r = nl.add_resonator(Resonator(qi=0, qj=1, wirelength=3.0, frequency=7.0))
+    r.blocks = [
+        WireBlock(resonator_key=r.key, ordinal=k, x=3.5 + k, y=1.5)
+        for k in range(3)
+    ]
+    return nl
+
+
+def test_render_layout_marks_components(small_layout):
+    grid = SiteGrid(12, 6)
+    art = render_layout(small_layout, grid)
+    lines = art.splitlines()
+    assert len(lines) == 6
+    assert all(len(line) == 12 for line in lines)
+    assert art.count("Q") == 18  # two 3x3 macros
+    assert art.count("a") == 3  # first resonator letter
+
+
+def test_render_occupancy(small_layout):
+    grid = SiteGrid(12, 6)
+    bins = BinGrid(grid)
+    for q in small_layout.qubits:
+        bins.occupy_rect(q.rect, q.node_id)
+    for b in small_layout.wire_blocks:
+        bins.occupy(*grid.site_of(b.center), b.node_id)
+    art = render_occupancy(bins)
+    assert art.count("Q") == 18
+    assert art.count("o") == 3
+
+
+def test_layout_dict_structure(small_layout):
+    data = layout_to_dict(small_layout)
+    assert data["name"] == "demo"
+    assert len(data["qubits"]) == 2
+    assert len(data["resonators"]) == 1
+    assert len(data["resonators"][0]["blocks"]) == 3
+
+
+def test_save_layout_json(tmp_path, small_layout):
+    path = tmp_path / "layout.json"
+    save_layout_json(small_layout, str(path))
+    data = json.loads(path.read_text())
+    assert data["qubits"][0]["index"] == 0
+
+
+def test_save_metrics_csv(tmp_path):
+    path = tmp_path / "metrics.csv"
+    save_metrics_csv(
+        [{"topology": "grid", "x": 1}, {"topology": "falcon", "ph": 0.5}],
+        str(path),
+    )
+    rows = list(csv.DictReader(path.open()))
+    assert rows[0]["topology"] == "grid"
+    assert set(rows[0]) == {"topology", "x", "ph"}
+
+
+def test_save_metrics_csv_rejects_empty(tmp_path):
+    with pytest.raises(ValueError):
+        save_metrics_csv([], str(tmp_path / "x.csv"))

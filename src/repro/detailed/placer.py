@@ -8,20 +8,40 @@ corridor, and grows any remainder with the Algorithm-1 adjacency rule.
 The new window layout is kept only when neither the window's cluster count
 nor its hotspot score regresses — otherwise everything is restored
 (Algorithm 2 lines 7-9).
+
+The accept/revert metric evaluations dominated the runtime of a naive
+implementation: every window check rebuilt every resonator's MST trace and
+re-scored the whole netlist.  This placer is *incremental* instead — it
+keeps per-resonator caches (traces, sampled trace sites, cluster counts,
+crossing counts, pairwise intersection counts and the full hotspot score
+map) that are only invalidated for the ripped-up resonator and reinstated
+wholesale on revert, which is exact because every other resonator's blocks
+are untouched.  One :class:`~repro.routing.maze.MazeRouter` (and its
+Dijkstra scratch arrays) is shared across all flagged resonators, and the
+frequency steering cost is precomputed as a vectorized overlay instead of
+a per-site callback.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.config import QGDPConfig
 from repro.detailed.windows import build_window, find_violations
-from repro.frequency.hotspots import resonator_hotspots
-from repro.frequency.proximity import tau
-from repro.legalization.bins import BinGrid
+from repro.frequency.hotspots import qubit_hotspot_pairs, resonator_hotspots
+from repro.legalization.bins import KIND_BLOCK, KIND_QUBIT, BinGrid
 from repro.netlist.clusters import cluster_count
 from repro.netlist.netlist import QuantumNetlist
-from repro.routing.crossings import resonator_crossings
+from repro.netlist.traces import resonator_trace
+from repro.routing.crossings import (
+    build_traces,
+    count_crossings,
+    resonator_crossings,
+    trace_site_indices,
+)
 from repro.routing.maze import MazeRouter
 
 
@@ -45,23 +65,6 @@ class DetailedPlacer:
         self.halo = halo
 
     # -- helpers -----------------------------------------------------------
-    def _window_clusters(self, netlist, keys) -> int:
-        return sum(
-            cluster_count(netlist.resonator(*k), self.config.lb) for k in keys
-        )
-
-    def _window_hotspots(self, netlist, keys) -> float:
-        scores = resonator_hotspots(
-            netlist, self.config.reach, self.config.delta_c, lb=self.config.lb
-        )
-        return sum(scores.get(k, 0.0) for k in keys)
-
-    def _window_crossings(self, netlist, keys, bins) -> int:
-        return sum(
-            resonator_crossings(netlist, netlist.resonator(*k), bins)
-            for k in keys
-        )
-
     def _adjacent_sites(self, grid, rect) -> set:
         covered = set(grid.sites_covered(rect))
         out = set()
@@ -71,27 +74,46 @@ class DetailedPlacer:
                     out.add(site)
         return out
 
-    def _frequency_cost(self, netlist, bins, freq: float):
-        """Extra per-site cost near close-frequency components."""
+    def _frequency_overlay(self, netlist, bins, freq: float) -> np.ndarray:
+        """Vectorized extra per-site cost near close-frequency components.
+
+        Equivalent to summing ``2 * tau(freq, neighbour frequency)`` over a
+        site's occupied in-grid 4-neighbours, with the neighbour terms
+        accumulated in the same (west, east, south, north) order as the
+        scalar cost model so route costs stay bit-identical.
+        """
         grid = bins.grid
         delta_c = self.config.delta_c
+        kind = bins.kind_flat
+        owner_idx = bins.owner_idx_flat
 
-        def cost(site) -> float:
-            penalty = 0.0
-            for neighbor in grid.neighbors4(*site):
-                owner = bins.occupant(*neighbor)
-                if owner is None:
-                    continue
-                if owner[0] == "q":
-                    other = netlist.qubit(owner[1]).frequency
-                else:
-                    other = netlist.resonator(*owner[1]).frequency
-                penalty += 2.0 * tau(freq, other, delta_c)
-            return penalty
+        freq_by_owner = np.empty(len(bins.owners), dtype=np.float64)
+        for i, owner in enumerate(bins.owners):
+            if owner[0] == "q":
+                freq_by_owner[i] = netlist.qubit(owner[1]).frequency
+            elif owner[0] == "b":
+                freq_by_owner[i] = netlist.resonator(*owner[1]).frequency
+            else:
+                freq_by_owner[i] = np.inf  # unknown owner: zero tau weight
 
-        return cost
+        site_freq = np.zeros(grid.num_sites, dtype=np.float64)
+        occupied = (kind == KIND_QUBIT) | (kind == KIND_BLOCK)
+        site_freq[occupied] = freq_by_owner[owner_idx[occupied]]
+        detuning = np.abs(freq - site_freq)
+        t = np.where(detuning >= delta_c, 0.0, 1.0 - detuning / delta_c)
+        t[~occupied] = 0.0
 
-    def _replace_resonator(self, netlist, bins, resonator, window) -> bool:
+        t2d = t.reshape(grid.cols, grid.rows)
+        pen = np.zeros_like(t2d)
+        pen[1:, :] += 2.0 * t2d[:-1, :]
+        pen[:-1, :] += 2.0 * t2d[1:, :]
+        pen[:, 1:] += 2.0 * t2d[:, :-1]
+        pen[:, :-1] += 2.0 * t2d[:, 1:]
+        return pen.reshape(-1)
+
+    def _replace_resonator(
+        self, netlist, bins, resonator, window, router
+    ) -> bool:
         """Rip up and re-place one resonator inside its window.
 
         Returns True when a complete re-placement was committed (caller
@@ -107,25 +129,29 @@ class DetailedPlacer:
 
         qa = netlist.qubit(resonator.qi)
         qb = netlist.qubit(resonator.qj)
-        router = MazeRouter(bins, crossing_cost=25.0)
         route = router.route(
             sources=self._adjacent_sites(grid, qa.rect),
             targets=self._adjacent_sites(grid, qb.rect),
             own_key=resonator.key,
             window=window.bounds,
-            extra_cost=self._frequency_cost(netlist, bins, resonator.frequency),
+            extra_cost=self._frequency_overlay(
+                netlist, bins, resonator.frequency
+            ),
         )
 
-        ordered_sites = []
+        ordered_sites = deque()
         if route is not None:
-            ordered_sites = [s for s in route.path if bins.is_free(*s)]
+            ordered_sites.extend(s for s in route.path if bins.is_free(*s))
 
         placed = []
+        # The frontier only ever holds free sites: the sole occupancy
+        # changes during this loop are our own placements, each discarded
+        # from the frontier as it lands — no extra pruning pass needed.
         frontier = set()
         for block in resonator.blocks:
             site = None
             while ordered_sites:
-                candidate = ordered_sites.pop(0)
+                candidate = ordered_sites.popleft()
                 if bins.is_free(*candidate):
                     site = candidate
                     break
@@ -150,7 +176,6 @@ class DetailedPlacer:
             for neighbor in bins.free_neighbors(*site):
                 if window.contains_site(neighbor):
                     frontier.add(neighbor)
-            frontier = {s for s in frontier if bins.is_free(*s)}
 
         if len(placed) < resonator.num_blocks:
             for block, site in placed:
@@ -170,37 +195,128 @@ class DetailedPlacer:
     def run(self, netlist: QuantumNetlist, bins: BinGrid) -> DetailedPlacementResult:
         """Run Algorithm 2 over the whole layout in place."""
         cfg = self.config
+        lb = cfg.lb
+
+        # Metric caches, valid for the *current* block positions.
+        traces = build_traces(netlist, lb)
+        samples = {
+            key: trace_site_indices(trace, bins)
+            for key, trace in traces.items()
+        }
+        # Qubit macros never move during detailed placement, so their
+        # pairwise hotspot terms are computed once for the whole run.
+        qubit_pairs = qubit_hotspot_pairs(netlist, cfg.reach, cfg.delta_c)
+        hotspot_scores = resonator_hotspots(
+            netlist,
+            cfg.reach,
+            cfg.delta_c,
+            lb=lb,
+            traces=traces,
+            qubit_pairs=qubit_pairs,
+        )
+        crossing_report = count_crossings(
+            netlist, bins, traces=traces, samples=samples
+        )
+        crossing_counts = dict(crossing_report.per_resonator)
+        pair_counts = dict(crossing_report.pair_crossings)
+        cluster_counts = {
+            r.key: cluster_count(r, lb) for r in netlist.resonators
+        }
+
         flagged = find_violations(
-            netlist, cfg.lb, cfg.reach, cfg.delta_c, bins=bins
+            netlist,
+            lb,
+            cfg.reach,
+            cfg.delta_c,
+            bins=bins,
+            hotspot_scores=hotspot_scores,
+            crossing_scores=crossing_counts,
         )
         clusters_before_total = sum(
-            cluster_count(r, cfg.lb) for r in netlist.resonators
+            cluster_counts[r.key] for r in netlist.resonators
         )
         attempted = accepted = reverted = 0
+        router = MazeRouter(bins, crossing_cost=25.0)
+
+        def window_crossings(keys) -> int:
+            total = 0
+            for k in keys:
+                if k not in crossing_counts:
+                    crossing_counts[k] = resonator_crossings(
+                        netlist,
+                        netlist.resonator(*k),
+                        bins,
+                        traces=traces,
+                        samples=samples.get(k),
+                        pair_counts=pair_counts,
+                    )
+                total += crossing_counts[k]
+            return total
+
+        def drop_pairs_involving(key) -> dict:
+            removed = {
+                pair: count
+                for pair, count in pair_counts.items()
+                if key in pair
+            }
+            for pair in removed:
+                del pair_counts[pair]
+            return removed
 
         for key in flagged:
             resonator = netlist.resonator(*key)
             window = build_window(netlist, bins.grid, key, self.halo)
-            clusters_before = self._window_clusters(netlist, window.resonator_keys)
-            hotspots_before = self._window_hotspots(netlist, window.resonator_keys)
-            crossings_before = self._window_crossings(
-                netlist, window.resonator_keys, bins
-            )
+            keys = window.resonator_keys
+            clusters_before = sum(cluster_counts[k] for k in keys)
+            hotspots_before = sum(hotspot_scores.get(k, 0.0) for k in keys)
+            crossings_before = window_crossings(keys)
             old_sites = {
                 b.ordinal: (bins.grid.site_of(b.center), (b.x, b.y))
                 for b in resonator.blocks
             }
 
             attempted += 1
-            if not self._replace_resonator(netlist, bins, resonator, window):
+            if not self._replace_resonator(
+                netlist, bins, resonator, window, router
+            ):
                 reverted += 1
                 continue
 
-            clusters_after = self._window_clusters(netlist, window.resonator_keys)
-            hotspots_after = self._window_hotspots(netlist, window.resonator_keys)
-            crossings_after = self._window_crossings(
-                netlist, window.resonator_keys, bins
+            # The target's geometry changed; every other resonator's
+            # blocks (hence trace, samples and cluster count) did not.
+            old_trace = traces[key]
+            old_samples = samples[key]
+            old_pairs = drop_pairs_involving(key)
+            traces[key] = resonator_trace(netlist, resonator, lb)
+            samples[key] = trace_site_indices(traces[key], bins)
+            target_clusters = cluster_count(resonator, lb)
+
+            clusters_after = sum(
+                target_clusters if k == key else cluster_counts[k]
+                for k in keys
             )
+            after_scores = resonator_hotspots(
+                netlist,
+                cfg.reach,
+                cfg.delta_c,
+                lb=lb,
+                traces=traces,
+                qubit_pairs=qubit_pairs,
+            )
+            hotspots_after = sum(after_scores.get(k, 0.0) for k in keys)
+            after_crossings = {
+                k: resonator_crossings(
+                    netlist,
+                    netlist.resonator(*k),
+                    bins,
+                    traces=traces,
+                    samples=samples.get(k),
+                    pair_counts=pair_counts,
+                )
+                for k in keys
+            }
+            crossings_after = sum(after_crossings.values())
+
             improved = (
                 clusters_after <= clusters_before
                 and hotspots_after <= hotspots_before + 1e-9
@@ -213,14 +329,26 @@ class DetailedPlacer:
             )
             if improved:
                 accepted += 1
+                hotspot_scores = after_scores
+                cluster_counts[key] = target_clusters
+                # The target's occupancy moved, which can change any
+                # resonator's bridged count — keep only the freshly
+                # evaluated window keys and recompute the rest on demand.
+                crossing_counts = dict(after_crossings)
             else:
                 for block in resonator.blocks:
                     bins.release(*bins.grid.site_of(block.center))
                 self._restore(bins, resonator, old_sites)
                 reverted += 1
+                # Positions are back to the pre-attempt state: reinstate
+                # the caches touched while evaluating the attempt.
+                traces[key] = old_trace
+                samples[key] = old_samples
+                drop_pairs_involving(key)
+                pair_counts.update(old_pairs)
 
         clusters_after_total = sum(
-            cluster_count(r, cfg.lb) for r in netlist.resonators
+            cluster_counts[r.key] for r in netlist.resonators
         )
         return DetailedPlacementResult(
             flagged=len(flagged),

@@ -37,6 +37,8 @@ def find_violations(
     reach: float,
     delta_c: float,
     bins=None,
+    hotspot_scores: dict = None,
+    crossing_scores: dict = None,
 ) -> list:
     """Resonator keys needing detailed placement: ``E_c ∪ E_h ∪ E_x``.
 
@@ -45,11 +47,17 @@ def find_violations(
     (needs ``bins`` for occupancy; skipped when absent).  Ordered
     worst-first (cluster count, hotspot score, crossings) so the placer
     attacks the most fragmented resonators before the marginal ones.
+
+    ``hotspot_scores`` / ``crossing_scores`` let a caller that already
+    evaluated the layout (the detailed placer seeds its metric caches
+    this way) pass the per-resonator maps instead of recomputing them.
     """
-    hotspot_scores = resonator_hotspots(netlist, reach, delta_c, lb=lb)
-    crossing_scores = {}
-    if bins is not None:
-        crossing_scores = count_crossings(netlist, bins).per_resonator
+    if hotspot_scores is None:
+        hotspot_scores = resonator_hotspots(netlist, reach, delta_c, lb=lb)
+    if crossing_scores is None:
+        crossing_scores = {}
+        if bins is not None:
+            crossing_scores = count_crossings(netlist, bins).per_resonator
     flagged = []
     for resonator in netlist.resonators:
         clusters = cluster_count(resonator, lb)

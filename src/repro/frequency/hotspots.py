@@ -68,8 +68,15 @@ class HotspotReport:
         return len(self.pairs)
 
 
-def _qubit_pairs(netlist: QuantumNetlist, reach: float, delta_c: float) -> list:
-    """Qubit-qubit hotspot pairs (rect adjacency within reach)."""
+def qubit_hotspot_pairs(
+    netlist: QuantumNetlist, reach: float, delta_c: float
+) -> list:
+    """Qubit-qubit hotspot pairs (rect adjacency within reach).
+
+    Depends only on qubit rectangles and frequencies, so callers whose
+    qubits are frozen (the detailed placer) may compute this once and
+    pass it back through ``hotspot_pairs(..., qubit_pairs=...)``.
+    """
     pairs = []
     qubits = netlist.qubits
     for a_pos, qa in enumerate(qubits):
@@ -115,15 +122,23 @@ def _trace_pairs(
     reach: float,
     delta_c: float,
     lb: float,
+    traces: dict = None,
 ) -> list:
-    """Trace-exposure hotspot pairs, aggregated per resonator pair."""
+    """Trace-exposure hotspot pairs, aggregated per resonator pair.
+
+    ``traces`` optionally maps resonator keys to precomputed MST traces,
+    sparing the per-call trace rebuild on repeated evaluations.
+    """
     block_at = _block_index(netlist, lb)
     radius = int(math.ceil(reach / lb))
     contributions = {}
     min_gap = {}
 
     for resonator in netlist.resonators:
-        trace = resonator_trace(netlist, resonator, lb)
+        if traces is not None and resonator.key in traces:
+            trace = traces[resonator.key]
+        else:
+            trace = resonator_trace(netlist, resonator, lb)
         for (x1, y1), (x2, y2) in trace:
             length = math.hypot(x2 - x1, y2 - y1)
             steps = max(1, int(length / (_TRACE_STEP * lb)))
@@ -189,10 +204,14 @@ def hotspot_pairs(
     reach: float = DEFAULT_REACH,
     delta_c: float = DEFAULT_DELTA_C,
     lb: float = 1.0,
+    traces: dict = None,
+    qubit_pairs: list = None,
 ) -> list:
     """All hotspot pairs: qubit-qubit plus trace-exposure resonator pairs."""
-    pairs = _qubit_pairs(netlist, reach, delta_c)
-    pairs.extend(_trace_pairs(netlist, reach, delta_c, lb))
+    if qubit_pairs is None:
+        qubit_pairs = qubit_hotspot_pairs(netlist, reach, delta_c)
+    pairs = list(qubit_pairs)
+    pairs.extend(_trace_pairs(netlist, reach, delta_c, lb, traces))
     return pairs
 
 
@@ -220,10 +239,12 @@ def resonator_hotspots(
     delta_c: float = DEFAULT_DELTA_C,
     pairs: list = None,
     lb: float = 1.0,
+    traces: dict = None,
+    qubit_pairs: list = None,
 ) -> dict:
     """Per-resonator hotspot score ``He``."""
     if pairs is None:
-        pairs = hotspot_pairs(netlist, reach, delta_c, lb)
+        pairs = hotspot_pairs(netlist, reach, delta_c, lb, traces, qubit_pairs)
     scores = {r.key: 0.0 for r in netlist.resonators}
     for pair in pairs:
         for cid in (pair.id_a, pair.id_b):

@@ -49,6 +49,20 @@ class SiteGrid:
         """Total number of sites."""
         return self.cols * self.rows
 
+    # -- flat indexing -----------------------------------------------------
+    # Sites flatten **column-major** (``flat = col * rows + row``) so that
+    # ascending flat index coincides with ascending ``(col, row)`` tuple
+    # order; the array-backed occupancy index and the maze router rely on
+    # this to keep flat-keyed orderings identical to tuple-keyed ones.
+    def flat_index(self, col: int, row: int) -> int:
+        """Column-major flat index of a site (no bounds check)."""
+        return col * self.rows + row
+
+    def site_of_flat(self, index: int) -> tuple:
+        """Inverse of :meth:`flat_index`."""
+        col, row = divmod(index, self.rows)
+        return (col, row)
+
     # -- coordinate mapping ----------------------------------------------
     def site_center(self, col: int, row: int) -> Point:
         """Centre of site ``(col, row)`` in layout coordinates."""

@@ -8,13 +8,56 @@ outward from the target with a best-distance prune.
 
 The index also serves the *adjacent available* set ``Baa`` of Algorithm 1
 cheaply: free 4-neighbours of a site are O(log n) membership probes.
+
+Occupancy itself is held in flat NumPy arrays (DREAMPlace-style) so the
+maze router and the crossing counter can probe/classify sites with O(1)
+array reads and build whole-grid cost overlays with vectorized gathers:
+
+* ``kind_flat``      — int8 per site: 0 free, 1 qubit macro, 2 wire block,
+  3 other owner;
+* ``owner_idx_flat`` — int32 per site: index into the owner interning
+  table (``-1`` when free);
+* ``res_idx_flat``   — int32 per site: interned resonator key for wire
+  blocks (``-1`` otherwise).
+
+Sites are flattened **column-major** (``flat = col * rows + row``) so that
+ascending flat index matches ascending ``(col, row)`` tuple order — the
+router relies on this to reproduce the exact tie-breaking of a tuple-keyed
+Dijkstra.  The legacy dict / per-row bisect structures are kept in sync
+(they still serve ``nearest_free`` and iteration) and
+:meth:`check_consistency` asserts the two representations never diverge.
 """
 
 from __future__ import annotations
 
 import bisect
 
+import numpy as np
+
 from repro.geometry import Rect, SiteGrid
+
+#: ``kind`` codes stored per site.
+KIND_FREE = 0
+KIND_QUBIT = 1
+KIND_BLOCK = 2
+KIND_OTHER = 3
+
+
+def _classify(owner):
+    """``(kind, resonator_key)`` for an owner, mirroring the router's
+    ``owner[0] == "q"`` / ``owner[0] == "b"`` discrimination."""
+    try:
+        tag = owner[0]
+    except (TypeError, IndexError, KeyError):
+        return KIND_OTHER, None
+    if tag == "q":
+        return KIND_QUBIT, None
+    if tag == "b":
+        try:
+            return KIND_BLOCK, owner[1]
+        except (TypeError, IndexError, KeyError):
+            return KIND_OTHER, None
+    return KIND_OTHER, None
 
 
 class BinGrid:
@@ -25,24 +68,93 @@ class BinGrid:
         # Per-row sorted list of free columns; site membership mirrors it.
         self._free_rows = [list(range(grid.cols)) for _ in range(grid.rows)]
         self._occupant = {}
+        n = grid.num_sites
+        self._kind = np.zeros(n, dtype=np.int8)
+        self._owner_idx = np.full(n, -1, dtype=np.int32)
+        self._res_idx = np.full(n, -1, dtype=np.int32)
+        self._owners = []  # owner_idx -> owner object
+        self._owner_ids = {}  # owner -> owner_idx (hashable owners only)
+        self._res_keys = []  # res_idx -> resonator key
+        self._res_ids = {}  # resonator key -> res_idx
+
+    # -- flat-array views --------------------------------------------------
+    @property
+    def kind_flat(self) -> np.ndarray:
+        """Per-site kind codes (treat as read-only)."""
+        return self._kind
+
+    @property
+    def owner_idx_flat(self) -> np.ndarray:
+        """Per-site interned owner indices, -1 when free (read-only)."""
+        return self._owner_idx
+
+    @property
+    def res_idx_flat(self) -> np.ndarray:
+        """Per-site interned resonator-key indices (read-only)."""
+        return self._res_idx
+
+    @property
+    def owners(self) -> list:
+        """Owner interning table: ``owners[owner_idx_flat[i]]`` is the owner."""
+        return self._owners
+
+    def res_key_index(self, key) -> int:
+        """Interned index of a resonator key, or -1 if never seen."""
+        try:
+            return self._res_ids.get(key, -1)
+        except TypeError:
+            return -1
+
+    def _intern_owner(self, owner) -> int:
+        try:
+            idx = self._owner_ids.get(owner)
+        except TypeError:  # unhashable owner: store without dedup
+            idx = None
+            self._owners.append(owner)
+            return len(self._owners) - 1
+        if idx is None:
+            idx = len(self._owners)
+            self._owners.append(owner)
+            self._owner_ids[owner] = idx
+        return idx
+
+    def _intern_res_key(self, key) -> int:
+        try:
+            idx = self._res_ids.get(key)
+        except TypeError:
+            return -1
+        if idx is None:
+            idx = len(self._res_keys)
+            self._res_keys.append(key)
+            self._res_ids[key] = idx
+        return idx
 
     # -- occupancy ---------------------------------------------------------
     def is_free(self, col: int, row: int) -> bool:
         """True when the site exists and is unoccupied."""
         if not self.grid.in_grid(col, row):
             return False
-        return (col, row) not in self._occupant
+        return self._kind[col * self.grid.rows + row] == KIND_FREE
 
     def occupant(self, col: int, row: int):
         """Whatever was stored by :meth:`occupy`, or None."""
-        return self._occupant.get((col, row))
+        if not self.grid.in_grid(col, row):
+            return None
+        idx = self._owner_idx[col * self.grid.rows + row]
+        return None if idx < 0 else self._owners[idx]
 
     def occupy(self, col: int, row: int, owner) -> None:
         """Mark a free site as occupied by ``owner``."""
         if not self.grid.in_grid(col, row):
             raise IndexError(f"site ({col}, {row}) outside grid")
-        if (col, row) in self._occupant:
+        flat = self.grid.flat_index(col, row)
+        if self._kind[flat] != KIND_FREE:
             raise ValueError(f"site ({col}, {row}) already occupied")
+        kind, res_key = _classify(owner)
+        self._kind[flat] = kind
+        self._owner_idx[flat] = self._intern_owner(owner)
+        if kind == KIND_BLOCK:
+            self._res_idx[flat] = self._intern_res_key(res_key)
         self._occupant[(col, row)] = owner
         free = self._free_rows[row]
         idx = bisect.bisect_left(free, col)
@@ -54,14 +166,47 @@ class BinGrid:
         """Return an occupied site to the free pool."""
         if (col, row) not in self._occupant:
             raise ValueError(f"site ({col}, {row}) is not occupied")
+        flat = self.grid.flat_index(col, row)
+        self._kind[flat] = KIND_FREE
+        self._owner_idx[flat] = -1
+        self._res_idx[flat] = -1
         del self._occupant[(col, row)]
         bisect.insort(self._free_rows[row], col)
 
     def occupy_rect(self, rect: Rect, owner) -> list:
-        """Occupy every site covered by ``rect`` (used for qubit macros)."""
+        """Occupy every site covered by ``rect`` (used for qubit macros).
+
+        The site block is validated and written as 2-D array slices; the
+        whole rect is occupied atomically (nothing is written when any
+        covered site is already taken).
+        """
         sites = self.grid.sites_covered(rect)
-        for col, row in sites:
-            self.occupy(col, row, owner)
+        if not sites:
+            return sites
+        rows = self.grid.rows
+        lo_col, lo_row = sites[0]
+        hi_col, hi_row = sites[-1]
+        kind2d = self._kind.reshape(self.grid.cols, rows)
+        view = kind2d[lo_col : hi_col + 1, lo_row : hi_row + 1]
+        if view.any():
+            for col, row in sites:
+                if self._kind[col * rows + row] != KIND_FREE:
+                    raise ValueError(f"site ({col}, {row}) already occupied")
+        kind, res_key = _classify(owner)
+        owner_idx = self._intern_owner(owner)
+        res_idx = self._intern_res_key(res_key) if kind == KIND_BLOCK else -1
+        view[:, :] = kind
+        owner2d = self._owner_idx.reshape(self.grid.cols, rows)
+        owner2d[lo_col : hi_col + 1, lo_row : hi_row + 1] = owner_idx
+        res2d = self._res_idx.reshape(self.grid.cols, rows)
+        res2d[lo_col : hi_col + 1, lo_row : hi_row + 1] = res_idx
+        for site in sites:
+            self._occupant[site] = owner
+        for row in range(lo_row, hi_row + 1):
+            free = self._free_rows[row]
+            i_lo = bisect.bisect_left(free, lo_col)
+            i_hi = bisect.bisect_left(free, hi_col + 1)
+            del free[i_lo:i_hi]
         return sites
 
     @property
@@ -124,3 +269,45 @@ class BinGrid:
         return [
             (c, r) for c, r in self.grid.neighbors4(col, row) if self.is_free(c, r)
         ]
+
+    # -- invariants --------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Assert the array state matches the dict/bisect state exactly.
+
+        Test hook: raises AssertionError on the first divergence between
+        the flat arrays, the occupant dict and the per-row free lists.
+        """
+        rows = self.grid.rows
+        occupied_flat = np.flatnonzero(self._kind != KIND_FREE)
+        assert len(occupied_flat) == len(self._occupant), (
+            f"array says {len(occupied_flat)} occupied, "
+            f"dict says {len(self._occupant)}"
+        )
+        for flat in occupied_flat:
+            col, row = self.grid.site_of_flat(int(flat))
+            owner = self._occupant.get((col, row))
+            assert owner is not None, f"array-occupied ({col}, {row}) not in dict"
+            interned = self._owners[self._owner_idx[flat]]
+            assert interned == owner or interned is owner, (
+                f"owner mismatch at ({col}, {row}): {interned!r} != {owner!r}"
+            )
+            kind, res_key = _classify(owner)
+            assert self._kind[flat] == kind, f"kind mismatch at ({col}, {row})"
+            if kind == KIND_BLOCK:
+                assert self._res_keys[self._res_idx[flat]] == res_key, (
+                    f"resonator key mismatch at ({col}, {row})"
+                )
+            else:
+                assert self._res_idx[flat] == -1, (
+                    f"stale res_idx at ({col}, {row})"
+                )
+        for row, free in enumerate(self._free_rows):
+            assert free == sorted(free), f"free row {row} unsorted"
+            for col in free:
+                assert self._kind[col * rows + row] == KIND_FREE, (
+                    f"free-list site ({col}, {row}) marked occupied in array"
+                )
+        total_free = sum(len(free) for free in self._free_rows)
+        assert total_free == self.grid.num_sites - len(self._occupant), (
+            "free-list count disagrees with occupant dict"
+        )

@@ -17,14 +17,23 @@ distant clusters must chord across the congested pocket that caused the
 split — over exactly the foreign blocks that filled it (paper Section
 II-B).  Intersections *at* a shared qubit endpoint are not counted — two
 couplers legitimately meet at their common qubit pad.
+
+Hot-path notes: the sampled bridged-block walk gathers the BinGrid's flat
+occupancy arrays in one vectorized pass, and all entry points accept a
+precomputed ``traces`` dict so callers that evaluate the same layout many
+times (the detailed placer) never rebuild the MST traces.  Trace-pair
+intersection tests are pruned with bounding boxes — disjoint boxes cannot
+properly intersect, so pruning is exact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.geometry.segments import segments_intersect
-from repro.legalization.bins import BinGrid
+from repro.legalization.bins import KIND_BLOCK, BinGrid
 from repro.netlist.netlist import QuantumNetlist
 from repro.netlist.traces import resonator_trace
 
@@ -45,56 +54,114 @@ class CrossingReport:
         )
 
 
-def _bridged_blocks(trace: list, own_key: tuple, bins: BinGrid) -> set:
-    """Foreign blocks any trace segment passes over (sampled walk).
+def trace_site_indices(trace: list, bins: BinGrid) -> np.ndarray:
+    """Flat site indices a trace's sampled walk touches (in walk order).
 
     Segments are sampled at 0.45 ``lb`` steps, fine enough that no unit
-    site the segment traverses is skipped.
+    site the segment traverses is skipped; out-of-grid samples are
+    dropped.  The result depends only on the trace geometry, so callers
+    may cache it per trace.
     """
     grid = bins.grid
     lb = grid.lb
-    bridged = set()
+    chunks = []
     for (x1, y1), (x2, y2) in trace:
         length = ((x2 - x1) ** 2 + (y2 - y1) ** 2) ** 0.5
         steps = max(1, int(length / (0.45 * lb)))
-        for k in range(steps + 1):
-            t = k / steps
-            x = x1 + (x2 - x1) * t
-            y = y1 + (y2 - y1) * t
-            col = int(x // lb)
-            row = int(y // lb)
-            if not grid.in_grid(col, row):
-                continue
-            owner = bins.occupant(col, row)
-            if owner is not None and owner[0] == "b" and owner[1] != own_key:
-                bridged.add(owner)
-    return bridged
+        t = np.arange(steps + 1, dtype=np.float64) / steps
+        x = x1 + (x2 - x1) * t
+        y = y1 + (y2 - y1) * t
+        col = np.floor_divide(x, lb).astype(np.int64)
+        row = np.floor_divide(y, lb).astype(np.int64)
+        ok = (col >= 0) & (col < grid.cols) & (row >= 0) & (row < grid.rows)
+        chunks.append(col[ok] * grid.rows + row[ok])
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+def trace_bbox(trace: list) -> tuple:
+    """``(xlo, ylo, xhi, yhi)`` bounding box of a trace (None when empty)."""
+    if not trace:
+        return None
+    xs = [p[0] for seg in trace for p in seg]
+    ys = [p[1] for seg in trace for p in seg]
+    return (min(xs), min(ys), max(xs), max(ys))
+
+
+def _bboxes_disjoint(a: tuple, b: tuple) -> bool:
+    if a is None or b is None:
+        return True
+    return a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1]
+
+
+def _bridged_blocks(
+    trace: list, own_key: tuple, bins: BinGrid, samples: np.ndarray = None
+) -> set:
+    """Foreign blocks any trace segment passes over (sampled walk)."""
+    if samples is None:
+        samples = trace_site_indices(trace, bins)
+    if samples.size == 0:
+        return set()
+    foreign = bins.kind_flat[samples] == KIND_BLOCK
+    own_idx = bins.res_key_index(own_key)
+    if own_idx >= 0:
+        foreign &= bins.res_idx_flat[samples] != own_idx
+    owners = bins.owners
+    return {owners[idx] for idx in np.unique(bins.owner_idx_flat[samples][foreign])}
+
+
+def _trace_intersections(trace_a: list, trace_b: list) -> int:
+    """Proper segment intersections between two traces."""
+    count = 0
+    for seg_a in trace_a:
+        for seg_b in trace_b:
+            if segments_intersect(*seg_a, *seg_b):
+                count += 1
+    return count
+
+
+def build_traces(netlist: QuantumNetlist, lb: float) -> dict:
+    """``{resonator key: MST trace}`` for the whole layout."""
+    return {r.key: resonator_trace(netlist, r, lb) for r in netlist.resonators}
 
 
 def count_crossings(
     netlist: QuantumNetlist,
     bins: BinGrid,
     lb: float = None,
+    traces: dict = None,
+    samples: dict = None,
 ) -> CrossingReport:
-    """Crossing report for the whole layout."""
+    """Crossing report for the whole layout.
+
+    ``traces`` optionally supplies precomputed MST traces (as returned by
+    :func:`build_traces`) and ``samples`` their sampled site indices (per
+    :func:`trace_site_indices`); missing keys are computed on demand.
+    """
     lb = bins.grid.lb if lb is None else lb
     report = CrossingReport()
-    traces = {
-        r.key: resonator_trace(netlist, r, lb) for r in netlist.resonators
-    }
+    if traces is None:
+        traces = build_traces(netlist, lb)
+    else:
+        traces = dict(traces)
+        for resonator in netlist.resonators:
+            if resonator.key not in traces:
+                traces[resonator.key] = resonator_trace(netlist, resonator, lb)
+    if samples is None:
+        samples = {}
     keys = sorted(traces)
+    bboxes = {key: trace_bbox(traces[key]) for key in keys}
     per_res = {key: 0 for key in keys}
     for key in keys:
-        bridged = _bridged_blocks(traces[key], key, bins)
+        bridged = _bridged_blocks(traces[key], key, bins, samples.get(key))
         report.bridged_blocks[key] = bridged
         per_res[key] += len(bridged)
     for a_pos, key_a in enumerate(keys):
         for key_b in keys[a_pos + 1 :]:
-            count = 0
-            for seg_a in traces[key_a]:
-                for seg_b in traces[key_b]:
-                    if segments_intersect(*seg_a, *seg_b):
-                        count += 1
+            if _bboxes_disjoint(bboxes[key_a], bboxes[key_b]):
+                continue
+            count = _trace_intersections(traces[key_a], traces[key_b])
             if count:
                 report.pair_crossings[(key_a, key_b)] = count
                 per_res[key_a] += count
@@ -107,17 +174,40 @@ def resonator_crossings(
     netlist: QuantumNetlist,
     resonator,
     bins: BinGrid,
+    traces: dict = None,
+    samples: np.ndarray = None,
+    pair_counts: dict = None,
 ) -> int:
-    """Crossings involving one resonator's trace (for DP window checks)."""
+    """Crossings involving one resonator's trace (for DP window checks).
+
+    ``traces`` / ``samples`` reuse precomputed geometry; ``pair_counts``
+    is an optional ``{(key_a, key_b): count}`` memo (keys ordered) that
+    the caller invalidates whenever either trace changes.
+    """
     lb = bins.grid.lb
-    trace = resonator_trace(netlist, resonator, lb)
-    count = len(_bridged_blocks(trace, resonator.key, bins))
+    key = resonator.key
+    if traces is not None and key in traces:
+        trace = traces[key]
+    else:
+        trace = resonator_trace(netlist, resonator, lb)
+    count = len(_bridged_blocks(trace, key, bins, samples))
+    bbox = trace_bbox(trace)
     for other in netlist.resonators:
-        if other.key == resonator.key:
+        if other.key == key:
             continue
-        other_trace = resonator_trace(netlist, other, lb)
-        for seg_a in trace:
-            for seg_b in other_trace:
-                if segments_intersect(*seg_a, *seg_b):
-                    count += 1
+        pair = (min(key, other.key), max(key, other.key))
+        if pair_counts is not None and pair in pair_counts:
+            count += pair_counts[pair]
+            continue
+        if traces is not None and other.key in traces:
+            other_trace = traces[other.key]
+        else:
+            other_trace = resonator_trace(netlist, other, lb)
+        if _bboxes_disjoint(bbox, trace_bbox(other_trace)):
+            pair_count = 0
+        else:
+            pair_count = _trace_intersections(trace, other_trace)
+        if pair_counts is not None:
+            pair_counts[pair] = pair_count
+        count += pair_count
     return count

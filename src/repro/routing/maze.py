@@ -15,6 +15,17 @@ per-site cost model:
 
 Used both to count crossings on finished layouts and as the optimizer
 ``M(W)`` inside the detailed placer (Algorithm 2).
+
+The search runs over **flat site indices** (Enola-style array routing):
+per-site entry costs are precomputed into one vectorized cost array from
+the :class:`~repro.legalization.bins.BinGrid` occupancy arrays, and the
+Dijkstra state (``dist`` / ``prev`` / ``visited``) lives in preallocated
+ndarrays reused across routes.  The flat index is column-major
+(``col * rows + row``), which makes ascending index order coincide with
+ascending ``(col, row)`` tuple order — so heap tie-breaking, and therefore
+the returned path, is *identical* to the historical tuple-keyed
+implementation (the parity tests in ``tests/routing`` hold both to the
+same reference).
 """
 
 from __future__ import annotations
@@ -22,7 +33,9 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from repro.legalization.bins import BinGrid
+import numpy as np
+
+from repro.legalization.bins import KIND_BLOCK, KIND_QUBIT, BinGrid
 
 
 @dataclass
@@ -40,7 +53,11 @@ class RouteResult:
 
 
 class MazeRouter:
-    """Dijkstra router over a :class:`~repro.legalization.bins.BinGrid`."""
+    """Dijkstra router over a :class:`~repro.legalization.bins.BinGrid`.
+
+    One instance can be reused across many routes; its Dijkstra scratch
+    buffers are allocated once and reset per call.
+    """
 
     def __init__(
         self,
@@ -55,9 +72,19 @@ class MazeRouter:
         self.step_cost = step_cost
         self.own_cost = own_cost
         self.crossing_cost = crossing_cost
+        n = bins.grid.num_sites
+        self._cost = np.empty(n, dtype=np.float64)
+        self._dist = np.empty(n, dtype=np.float64)
+        self._prev = np.empty(n, dtype=np.int32)
+        self._visited = np.empty(n, dtype=bool)
+        self._is_target = np.empty(n, dtype=bool)
 
     def _site_cost(self, site: tuple, own_key: tuple, extra_cost=None) -> float:
-        """Cost of *entering* a site; None when impassable."""
+        """Cost of *entering* a site; None when impassable.
+
+        Retained as the scalar reference cost model (property tests diff
+        the vectorized cost array against it).
+        """
         owner = self.bins.occupant(*site)
         if owner is None:
             base = self.step_cost
@@ -67,9 +94,42 @@ class MazeRouter:
             base = self.own_cost
         else:
             base = self.crossing_cost
-        if extra_cost is not None:
+        if extra_cost is not None and not isinstance(extra_cost, np.ndarray):
             base += extra_cost(site)
         return base
+
+    def _build_cost(self, own_key: tuple, extra_cost, window) -> np.ndarray:
+        """Vectorized per-site entry cost; +inf marks impassable sites."""
+        bins = self.bins
+        kind = bins.kind_flat
+        cost = self._cost
+        cost[:] = self.step_cost
+        cost[kind == KIND_QUBIT] = np.inf
+        blocks = kind == KIND_BLOCK
+        own_idx = bins.res_key_index(own_key)
+        own = blocks & (bins.res_idx_flat == own_idx) if own_idx >= 0 else None
+        cost[blocks] = self.crossing_cost
+        cost[kind > KIND_BLOCK] = self.crossing_cost
+        if own is not None:
+            cost[own] = self.own_cost
+        if extra_cost is not None:
+            if isinstance(extra_cost, np.ndarray):
+                cost += extra_cost
+            else:
+                # Legacy callable: evaluate per passable site (window only).
+                grid = bins.grid
+                if window is not None:
+                    lo_col, lo_row, hi_col, hi_row = window
+                else:
+                    lo_col, lo_row = 0, 0
+                    hi_col, hi_row = grid.cols - 1, grid.rows - 1
+                rows = grid.rows
+                for col in range(lo_col, hi_col + 1):
+                    base = col * rows
+                    for row in range(lo_row, hi_row + 1):
+                        if np.isfinite(cost[base + row]):
+                            cost[base + row] += extra_cost((col, row))
+        return cost
 
     def route(
         self,
@@ -84,64 +144,112 @@ class MazeRouter:
         ``own_key`` is the routing resonator's ``(qi, qj)`` key (its own
         blocks are traversed at ``own_cost``).  ``window`` optionally
         restricts the search to a site-rect ``(lo_col, lo_row, hi_col,
-        hi_row)`` inclusive.  ``extra_cost`` is an optional callable
-        ``site -> float`` added on entry (the detailed placer uses it to
-        steer away from frequency hotspots).  Returns None when no route
-        exists.
+        hi_row)`` inclusive.  ``extra_cost`` is an optional per-site entry
+        cost added on top: either a callable ``site -> float`` or a
+        precomputed flat overlay array indexed by ``col * rows + row``
+        (the detailed placer passes the vectorized form).  Returns None
+        when no route exists.
         """
         if not sources or not targets:
             return None
         grid = self.bins.grid
-        target_set = set(targets)
-        dist = {}
-        prev = {}
+        cols, rows = grid.cols, grid.rows
+        n = cols * rows
+
+        cost = self._build_cost(own_key, extra_cost, window)
+        is_target = self._is_target
+        is_target[:] = False
+        for col, row in targets:
+            if grid.in_grid(col, row):
+                is_target[grid.flat_index(col, row)] = True
+        # Targets are always enterable at plain step cost (no overlay).
+        cost[is_target] = self.step_cost
+        if window is not None:
+            lo_col, lo_row, hi_col, hi_row = window
+            cost2d = cost.reshape(cols, rows)
+            cost2d[:lo_col, :] = np.inf
+            cost2d[hi_col + 1 :, :] = np.inf
+            cost2d[:, :lo_row] = np.inf
+            cost2d[:, hi_row + 1 :] = np.inf
+
+        dist = self._dist
+        dist[:] = np.inf
+        prev = self._prev
+        prev[:] = -1
+        visited = self._visited
+        visited[:] = False
+
         heap = []
         for site in sources:
+            if not grid.in_grid(*site):
+                continue
             if window is not None and not _in_window(site, window):
                 continue
-            dist[site] = 0.0
-            heapq.heappush(heap, (0.0, site))
+            flat = site[0] * rows + site[1]
+            dist[flat] = 0.0
+            heap.append((0.0, flat))
+        heapq.heapify(heap)
 
-        visited = set()
-        found = None
+        found = -1
+        last_col = n - rows
+        push = heapq.heappush
+        pop = heapq.heappop
         while heap:
-            d, site = heapq.heappop(heap)
-            if site in visited:
+            d, i = pop(heap)
+            if visited[i]:
                 continue
-            visited.add(site)
-            if site in target_set:
-                found = site
+            visited[i] = True
+            if is_target[i]:
+                found = i
                 break
-            for neighbor in grid.neighbors4(*site):
-                if neighbor in visited:
-                    continue
-                if window is not None and not _in_window(neighbor, window):
-                    continue
-                is_target = neighbor in target_set
-                if is_target:
-                    cost = self.step_cost  # targets are always enterable
-                else:
-                    cost = self._site_cost(neighbor, own_key, extra_cost)
-                    if cost is None:
-                        continue
-                nd = d + cost
-                if neighbor not in dist or nd < dist[neighbor]:
-                    dist[neighbor] = nd
-                    prev[neighbor] = site
-                    heapq.heappush(heap, (nd, neighbor))
+            # Neighbors in (col-1, col+1, row-1, row+1) order.
+            if i >= rows:
+                j = i - rows
+                if not visited[j]:
+                    nd = d + cost[j]
+                    if nd < dist[j]:
+                        dist[j] = nd
+                        prev[j] = i
+                        push(heap, (nd, j))
+            if i < last_col:
+                j = i + rows
+                if not visited[j]:
+                    nd = d + cost[j]
+                    if nd < dist[j]:
+                        dist[j] = nd
+                        prev[j] = i
+                        push(heap, (nd, j))
+            row = i % rows
+            if row > 0:
+                j = i - 1
+                if not visited[j]:
+                    nd = d + cost[j]
+                    if nd < dist[j]:
+                        dist[j] = nd
+                        prev[j] = i
+                        push(heap, (nd, j))
+            if row < rows - 1:
+                j = i + 1
+                if not visited[j]:
+                    nd = d + cost[j]
+                    if nd < dist[j]:
+                        dist[j] = nd
+                        prev[j] = i
+                        push(heap, (nd, j))
 
-        if found is None:
+        if found < 0:
             return None
-        path = [found]
-        while path[-1] in prev:
-            path.append(prev[path[-1]])
-        path.reverse()
+        flat_path = [found]
+        while prev[flat_path[-1]] >= 0:
+            flat_path.append(int(prev[flat_path[-1]]))
+        flat_path.reverse()
+        path = [divmod(i, rows) for i in flat_path]
         crossings = []
         for site in path:
             owner = self.bins.occupant(*site)
             if owner is not None and owner[0] == "b" and owner[1] != own_key:
                 crossings.append(owner)
-        return RouteResult(path=path, cost=dist[found], crossings=crossings)
+        return RouteResult(path=path, cost=float(dist[found]), crossings=crossings)
 
 
 def _in_window(site: tuple, window: tuple) -> bool:

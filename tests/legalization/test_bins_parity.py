@@ -1,0 +1,114 @@
+"""Property tests: BinGrid's array state never diverges from dict/bisect.
+
+The flat ``kind`` / ``owner_idx`` / ``res_idx`` arrays are a redundant
+representation of the occupant dict + per-row free lists; every mutation
+(occupy, release, occupy_rect — including ones that raise) must leave the
+two views equal.  ``check_consistency`` cross-checks them exhaustively.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, SiteGrid
+from repro.legalization import BinGrid
+
+COLS, ROWS = 7, 6
+
+site_st = st.tuples(st.integers(0, COLS - 1), st.integers(0, ROWS - 1))
+
+owner_st = st.one_of(
+    st.builds(lambda i: ("q", i), st.integers(0, 5)),
+    st.builds(
+        lambda a, b, o: ("b", (min(a, b), max(a, b) + 1), o),
+        st.integers(0, 4),
+        st.integers(0, 4),
+        st.integers(0, 3),
+    ),
+    st.sampled_from(["x", "marker"]),
+)
+
+op_st = st.one_of(
+    st.tuples(st.just("occupy"), site_st, owner_st),
+    st.tuples(st.just("release"), site_st, st.none()),
+    st.tuples(
+        st.just("rect"),
+        st.tuples(
+            st.integers(0, COLS - 2),
+            st.integers(0, ROWS - 2),
+            st.integers(1, 3),
+            st.integers(1, 3),
+        ),
+        owner_st,
+    ),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(op_st, max_size=40))
+def test_array_and_dict_state_never_diverge(ops):
+    bins = BinGrid(SiteGrid(COLS, ROWS))
+    mirror = {}  # plain reference model: site -> owner
+    for op, arg, owner in ops:
+        if op == "occupy":
+            col, row = arg
+            if (col, row) in mirror:
+                with pytest.raises(ValueError):
+                    bins.occupy(col, row, owner)
+            else:
+                bins.occupy(col, row, owner)
+                mirror[(col, row)] = owner
+        elif op == "release":
+            col, row = arg
+            if (col, row) in mirror:
+                bins.release(col, row)
+                del mirror[(col, row)]
+            else:
+                with pytest.raises(ValueError):
+                    bins.release(col, row)
+        else:
+            lo_col, lo_row, w, h = arg
+            rect = Rect(
+                lo_col + w / 2.0, lo_row + h / 2.0, float(w), float(h)
+            )
+            covered = bins.grid.sites_covered(rect)
+            if any(site in mirror for site in covered):
+                with pytest.raises(ValueError):
+                    bins.occupy_rect(rect, owner)
+            else:
+                bins.occupy_rect(rect, owner)
+                for site in covered:
+                    mirror[site] = owner
+        bins.check_consistency()
+
+    # Array-backed reads agree with the reference model everywhere.
+    for col in range(COLS):
+        for row in range(ROWS):
+            assert bins.is_free(col, row) == ((col, row) not in mirror)
+            assert bins.occupant(col, row) == mirror.get((col, row))
+    assert bins.num_free == COLS * ROWS - len(mirror)
+    assert sorted(bins.free_sites()) == sorted(
+        (c, r)
+        for c in range(COLS)
+        for r in range(ROWS)
+        if (c, r) not in mirror
+    )
+
+
+def test_failed_occupy_rect_is_atomic():
+    bins = BinGrid(SiteGrid(COLS, ROWS))
+    bins.occupy(2, 2, "x")
+    with pytest.raises(ValueError):
+        bins.occupy_rect(Rect(2.0, 2.0, 2.0, 2.0), ("q", 0))
+    bins.check_consistency()
+    # Only the pre-existing occupant remains.
+    assert bins.num_free == COLS * ROWS - 1
+    assert bins.occupant(2, 2) == "x"
+
+
+def test_out_of_grid_probes_are_safe():
+    bins = BinGrid(SiteGrid(COLS, ROWS))
+    assert not bins.is_free(-1, 0)
+    assert not bins.is_free(0, ROWS)
+    assert bins.occupant(-1, 0) is None
+    assert bins.occupant(COLS, 0) is None

@@ -1,0 +1,46 @@
+"""Perf smoke guard: the qGDP hot path must stay interactive.
+
+One small end-to-end flow (place → legalize → detailed-place on a 5×5
+qubit grid) with a *generous* wall-clock budget — an order of magnitude
+above the array-backed implementation's typical time, but far below the
+seed's pure-Python time, so only a genuine hot-path regression trips it.
+Part of the tier-1 run; select just this guard with ``pytest -m
+perf_smoke``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import QGDPConfig
+from repro.detailed import DetailedPlacer
+from repro.legalization import get_engine, run_legalization
+from repro.metrics import check_legality, integration_ratio
+from repro.placement import GlobalPlacer, build_layout
+from repro.topologies import grid_topology
+
+#: Budget for legalization + detailed placement on a 5x5 grid, seconds.
+#: Typical: ~0.07 s array-backed; ~1.1 s for the pre-array seed code.
+SMOKE_BUDGET_S = 10.0
+
+
+@pytest.mark.perf_smoke
+def test_flow_5x5_within_budget():
+    cfg = QGDPConfig()
+    netlist, grid = build_layout(grid_topology(5), cfg)
+    GlobalPlacer(cfg).run(netlist, grid, seed=cfg.seed)
+
+    t0 = time.perf_counter()
+    outcome = run_legalization(netlist, grid, get_engine("qgdp"), cfg)
+    DetailedPlacer(cfg).run(netlist, outcome.bins)
+    elapsed = time.perf_counter() - t0
+
+    assert check_legality(netlist, grid) == []
+    unified, total = integration_ratio(netlist)
+    assert unified >= 0.9 * total
+    assert elapsed < SMOKE_BUDGET_S, (
+        f"legalize+detailed took {elapsed:.2f}s on a 5x5 grid "
+        f"(budget {SMOKE_BUDGET_S}s) — hot-path regression?"
+    )

@@ -13,10 +13,8 @@ sit orders of magnitude below bv-4.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.circuits import PAPER_BENCHMARKS
-from repro.evaluation import evaluate_fidelity, format_fig8
+from repro.evaluation import format_fig8
 from repro.legalization import PAPER_ENGINE_ORDER
 from repro.topologies import PAPER_TOPOLOGIES
 
@@ -30,13 +28,6 @@ PAPER_MEANS = {
     "aspen11": {"qgdp": 0.1128, "q-abacus": 0.0705, "q-tetris": 0.0913, "abacus": 0.0, "tetris": 0.0},
     "aspenm": {"qgdp": 0.1034, "q-abacus": 0.0783, "q-tetris": 0.0753, "abacus": 0.0027, "tetris": 0.0027},
 }
-
-
-@pytest.fixture(scope="module")
-def fidelity_results(eval_config):
-    return evaluate_fidelity(
-        PAPER_TOPOLOGIES, PAPER_BENCHMARKS, PAPER_ENGINE_ORDER, eval_config
-    )
 
 
 def test_fig8_fidelity_table(benchmark, fidelity_results, eval_config):

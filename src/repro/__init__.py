@@ -11,7 +11,9 @@ covers the whole flow the paper evaluates:
   classical baselines (Tetris, Abacus, and their quantum-qubit hybrids),
 * the window-based detailed placer,
 * crosstalk/fidelity models, NISQ benchmark circuits and a transpiler,
-* an evaluation harness that regenerates every table and figure.
+* an evaluation harness that regenerates every table and figure,
+* an orchestration subsystem running sweeps as parallel, resumable,
+  disk-cached job graphs (``repro.orchestration`` / ``repro sweep``).
 
 Quickstart::
 
@@ -38,6 +40,7 @@ from repro.evaluation import (
 from repro.legalization import ENGINES, PAPER_ENGINE_ORDER, get_engine
 from repro.metrics import layout_metrics
 from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+from repro.orchestration import ArtifactStore, SweepSpec, run_sweep
 from repro.topologies import PAPER_TOPOLOGIES, Topology, get_topology
 
 __version__ = "0.1.0"
@@ -70,6 +73,9 @@ __all__ = [
     "Qubit",
     "Resonator",
     "WireBlock",
+    "ArtifactStore",
+    "SweepSpec",
+    "run_sweep",
     "PAPER_TOPOLOGIES",
     "Topology",
     "get_topology",

@@ -4,27 +4,34 @@ Examples::
 
     python -m repro topologies
     python -m repro flow falcon --engine qgdp --render
+    python -m repro flow all --no-dp
     python -m repro fidelity aspen11 --benchmarks bv-4 qaoa-4 --seeds 10
     python -m repro tables --which fig9
+    python -m repro sweep --topologies grid falcon --seeds 10 --workers 4
+    python -m repro sweep --topologies grid falcon --seeds 10 --resume
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.circuits import PAPER_BENCHMARKS
 from repro.core.config import QGDPConfig
 from repro.core.pipeline import run_flow
 from repro.evaluation import (
     EvaluationConfig,
+    cells_from_sweep,
     evaluate_engines,
     evaluate_fidelity,
     format_fig8,
     format_fig9,
     format_table2,
     format_table3,
+    sweep_spec,
 )
 from repro.legalization import PAPER_ENGINE_ORDER
+from repro.orchestration import RunSink, run_sweep
 from repro.topologies import PAPER_TOPOLOGIES, available_topologies, get_topology
 from repro.visualization import render_layout, save_layout_json
 
@@ -45,10 +52,10 @@ def _cmd_benchmarks(_args) -> int:
     return 0
 
 
-def _cmd_flow(args) -> int:
+def _run_one_flow(topology_name: str, args) -> int:
     config = QGDPConfig(seed=args.seed)
     flow, result = run_flow(
-        args.topology,
+        topology_name,
         engine=args.engine,
         detailed=not args.no_dp,
         config=config,
@@ -67,6 +74,20 @@ def _cmd_flow(args) -> int:
         print(f"layout written to {args.json}")
     violations = result.final.metrics.get("legality_violations", 0)
     return 0 if violations == 0 else 1
+
+
+def _cmd_flow(args) -> int:
+    if args.topology != "all":
+        return _run_one_flow(args.topology, args)
+    if args.json:
+        print("--json is only supported for a single topology")
+        return 2
+    # Run every paper topology; the exit code aggregates the worst result.
+    worst = 0
+    for name in PAPER_TOPOLOGIES:
+        print(f"=== {name} ===")
+        worst = max(worst, _run_one_flow(name, args))
+    return worst
 
 
 def _cmd_fidelity(args) -> int:
@@ -96,6 +117,83 @@ def _cmd_tables(args) -> int:
         print(format_table2(evaluations, args.topologies, PAPER_ENGINE_ORDER))
     if args.which in ("table3", "all"):
         print(format_table3(evaluations, args.topologies))
+    return 0
+
+
+def _parse_shard(text: str) -> tuple:
+    try:
+        index, count = (int(part) for part in text.split("/"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like 'i/n' (e.g. 2/4), got {text!r}"
+        )
+    if count < 1 or not (1 <= index <= count):
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 1 <= i <= n, got {text!r}"
+        )
+    return (index, count)
+
+
+def _cmd_sweep(args) -> int:
+    eval_config = EvaluationConfig(
+        num_seeds=args.seeds,
+        base_seed=args.base_seed,
+        detailed=args.detailed,
+        config=QGDPConfig(seed=args.seed),
+    )
+    spec = sweep_spec(args.topologies, args.benchmarks, args.engines, eval_config)
+    cache_dir = None if args.no_cache else args.cache_dir
+
+    state = {"done": 0}
+
+    def progress(job, status):
+        if status == "start":
+            return
+        state["done"] += 1
+        if args.quiet:
+            return
+        what = job.params.get("benchmark") or job.params.get("engine") or ""
+        print(
+            f"[{state['done']}] {status:6s} {job.kind:9s} "
+            f"{job.params.get('topology', '')} {what}",
+            flush=True,
+        )
+
+    result = run_sweep(
+        spec,
+        cache_dir=cache_dir,
+        workers=args.workers,
+        resume=args.resume,
+        shard=args.shard,
+        progress=progress,
+    )
+
+    if args.out:
+        out_dir = args.out
+    elif cache_dir is not None:
+        out_dir = os.path.join(cache_dir, "runs", result.manifest["run_id"])
+    else:
+        # --no-cache must not touch the cache directory at all.
+        out_dir = f"repro-sweep-{result.manifest['run_id']}"
+    sink = RunSink(out_dir)
+    sink.write_results(result.rows)
+    sink.write_manifest(result.manifest)
+
+    if args.table:
+        cells = cells_from_sweep(result.cells)
+        print(
+            format_fig8(
+                cells, list(args.topologies), list(args.benchmarks), list(args.engines)
+            )
+        )
+    stats = result.stats
+    print(
+        f"sweep {result.manifest['run_id']}: {len(result.cells)} cells, "
+        f"{stats.computed} jobs computed, {stats.cached} cached, "
+        f"{stats.wall_s:.1f}s"
+    )
+    print(f"results: {sink.results_path}")
+    print(f"manifest: {sink.manifest_path}")
     return 0
 
 
@@ -133,6 +231,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--topologies", nargs="+", default=list(PAPER_TOPOLOGIES)
     )
     tables.add_argument("--seed", type=int, default=QGDPConfig().seed)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="parallel, resumable, disk-cached fidelity sweep (Fig. 8 protocol)",
+    )
+    sweep.add_argument(
+        "--topologies", nargs="+", default=list(PAPER_TOPOLOGIES)
+    )
+    sweep.add_argument(
+        "--benchmarks", nargs="+", default=list(PAPER_BENCHMARKS)
+    )
+    sweep.add_argument(
+        "--engines", nargs="+", default=list(PAPER_ENGINE_ORDER)
+    )
+    sweep.add_argument("--seeds", type=int, default=50, help="mapping seeds per cell")
+    sweep.add_argument("--base-seed", type=int, default=11)
+    sweep.add_argument("--seed", type=int, default=QGDPConfig().seed)
+    sweep.add_argument(
+        "--detailed", action="store_true", help="run qGDP-DP on top of qGDP-LG"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="worker processes (1 = serial, the debugging mode)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cached stage artifacts instead of recomputing",
+    )
+    sweep.add_argument(
+        "--shard",
+        type=_parse_shard,
+        default=None,
+        metavar="i/n",
+        help="run the i-th of n deterministic cell slices (1-based)",
+    )
+    sweep.add_argument("--cache-dir", default=".repro_cache")
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="keep artifacts in memory only"
+    )
+    sweep.add_argument("--out", default=None, help="run output directory")
+    sweep.add_argument(
+        "--table", action="store_true", help="print the Fig. 8 table"
+    )
+    sweep.add_argument("--quiet", action="store_true", help="suppress per-job progress")
     return parser
 
 
@@ -142,6 +287,7 @@ _HANDLERS = {
     "flow": _cmd_flow,
     "fidelity": _cmd_fidelity,
     "tables": _cmd_tables,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -4,6 +4,8 @@ from repro.evaluation.harness import (
     EvaluationConfig,
     evaluate_fidelity,
     evaluate_engines,
+    cells_from_sweep,
+    sweep_spec,
     FidelityCell,
     EngineEvaluation,
 )
@@ -18,6 +20,8 @@ __all__ = [
     "EvaluationConfig",
     "evaluate_fidelity",
     "evaluate_engines",
+    "cells_from_sweep",
+    "sweep_spec",
     "FidelityCell",
     "EngineEvaluation",
     "format_fig8",

@@ -6,31 +6,31 @@ strategy, the same GP solution is legalized, then each benchmark is mapped
 reported.  Layout-level metrics (Ph, HQ, X, Iedge, runtimes) come from the
 same legalized layouts.
 
-The harness caches aggressively: GP runs once per topology, transpilations
-once per (topology, benchmark, seed) — they do not depend on the engine —
-and layout analysis (violations, hotspots, crossings) once per
-(topology, engine).
+Since the orchestration subsystem landed, this module is a thin facade:
+:func:`evaluate_engines` and :func:`evaluate_fidelity` plan the same
+content-addressed job graphs the ``repro sweep`` CLI runs (GP once per
+topology, transpilations once per (topology, benchmark, seed), layout
+analysis once per (topology, engine)) and execute them with the in-process
+serial executor.  Results are bit-identical whether the jobs run here, in
+a worker pool, or come back from the disk artifact cache — see
+``docs/orchestration.md``.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.circuits.registry import get_benchmark
-from repro.compiler.transpiler import transpile
 from repro.core.config import QGDPConfig
-from repro.crosstalk.fidelity import program_fidelity
 from repro.crosstalk.parameters import DEFAULT_NOISE, NoiseParameters
-from repro.detailed.placer import DetailedPlacer
-from repro.frequency.hotspots import hotspot_pairs, hotspot_report
-from repro.legalization.engines import get_engine, run_legalization
-from repro.metrics.legality import qubit_spacing_violations
-from repro.metrics.report import layout_metrics
-from repro.placement.builder import build_layout
-from repro.placement.global_placer import GlobalPlacer
-from repro.routing.crossings import count_crossings
-from repro.topologies.registry import get_topology
+from repro.orchestration.executor import run_jobs
+from repro.orchestration.jobs import Job, JobGraph
+from repro.orchestration.stages import (
+    config_to_dict,
+    metrics_from_dict,
+    noise_to_dict,
+)
+from repro.orchestration.store import ArtifactStore
+from repro.orchestration.sweep import SweepSpec, run_sweep
 
 
 @dataclass
@@ -70,12 +70,39 @@ class EngineEvaluation:
     dp_metrics: object = None
 
 
-def _layout_artifacts(netlist, bins, config):
-    """Per-layout analysis reused across benchmarks and seeds."""
+def sweep_spec(
+    topology_names: list,
+    benchmark_names: list,
+    engine_names: list,
+    eval_config: EvaluationConfig = None,
+) -> SweepSpec:
+    """The :class:`SweepSpec` equivalent of an :class:`EvaluationConfig`."""
+    eval_config = eval_config or EvaluationConfig()
+    return SweepSpec(
+        topologies=tuple(topology_names),
+        benchmarks=tuple(benchmark_names),
+        engines=tuple(engine_names),
+        num_seeds=eval_config.num_seeds,
+        base_seed=eval_config.base_seed,
+        detailed=eval_config.detailed,
+        config=config_to_dict(eval_config.config),
+        noise=noise_to_dict(eval_config.noise),
+    )
+
+
+def cells_from_sweep(sweep_cells: dict) -> dict:
+    """Wrap raw sweep cell stats into :class:`FidelityCell` values."""
     return {
-        "violations": qubit_spacing_violations(netlist, config.min_qubit_spacing),
-        "hotspots": hotspot_pairs(netlist, config.reach, config.delta_c),
-        "crossings": count_crossings(netlist, bins),
+        (topo, bench, engine): FidelityCell(
+            topology=topo,
+            benchmark=bench,
+            engine=engine,
+            mean=cell["mean"],
+            minimum=cell["minimum"],
+            maximum=cell["maximum"],
+            samples=cell["samples"],
+        )
+        for (topo, bench, engine), cell in sweep_cells.items()
     }
 
 
@@ -92,29 +119,52 @@ def evaluate_engines(
     runs qGDP-DP on top of qGDP-LG.
     """
     eval_config = eval_config or EvaluationConfig()
-    cfg = eval_config.config
-    topology = get_topology(topology_name)
-    netlist, grid = build_layout(topology, cfg)
-    GlobalPlacer(cfg).run(netlist, grid, seed=cfg.seed)
-    gp_positions = netlist.snapshot()
+    cfg_dict = config_to_dict(eval_config.config)
+
+    graph = JobGraph()
+    gp = graph.add(
+        Job.create(
+            "gp",
+            {
+                "topology": topology_name,
+                "config": cfg_dict,
+                "seed": eval_config.config.seed,
+            },
+        )
+    )
+    layout_keys = {}
+    for engine_name in engines:
+        params = {
+            "topology": topology_name,
+            "engine": engine_name,
+            "config": cfg_dict,
+            "metrics": True,
+        }
+        # A dp job legalizes and reports the LG stage on the way, so DP
+        # engines need one job, not an lg job plus a second replay.
+        kind = "dp" if engine_name in with_dp_for else "lg"
+        layout_keys[engine_name] = graph.add(
+            Job.create(kind, params, deps=(gp.key,))
+        ).key
+
+    payloads, _stats = run_jobs(graph, ArtifactStore())
 
     results = {}
     for engine_name in engines:
-        netlist.restore(gp_positions)
-        outcome = run_legalization(netlist, grid, get_engine(engine_name), cfg)
-        metrics = layout_metrics(netlist, outcome.bins, cfg)
+        payload = payloads[layout_keys[engine_name]]
+        with_dp = engine_name in with_dp_for
         evaluation = EngineEvaluation(
             topology=topology_name,
             engine=engine_name,
-            metrics=metrics,
-            qubit_time_s=outcome.qubit_time_s,
-            resonator_time_s=outcome.resonator_time_s,
+            metrics=metrics_from_dict(
+                payload["lg_metrics"] if with_dp else payload["metrics"]
+            ),
+            qubit_time_s=payload["qubit_time_s"],
+            resonator_time_s=payload["resonator_time_s"],
         )
-        if engine_name in with_dp_for:
-            t0 = time.perf_counter()
-            DetailedPlacer(cfg).run(netlist, outcome.bins)
-            evaluation.dp_time_s = time.perf_counter() - t0
-            evaluation.dp_metrics = layout_metrics(netlist, outcome.bins, cfg)
+        if with_dp:
+            evaluation.dp_time_s = payload["dp_time_s"]
+            evaluation.dp_metrics = metrics_from_dict(payload["metrics"])
         results[engine_name] = evaluation
     return results
 
@@ -131,64 +181,14 @@ def evaluate_fidelity(
     Returns ``{(topology, benchmark, engine): FidelityCell}``.  ``progress``
     is an optional callable ``(topology, engine) -> None`` for reporting.
     """
-    eval_config = eval_config or EvaluationConfig()
-    cfg = eval_config.config
-    results = {}
+    spec = sweep_spec(topology_names, benchmark_names, engine_names, eval_config)
 
-    for topo_name in topology_names:
-        topology = get_topology(topo_name)
-        netlist, grid = build_layout(topology, cfg)
-        GlobalPlacer(cfg).run(netlist, grid, seed=cfg.seed)
-        gp_positions = netlist.snapshot()
+    job_progress = None
+    if progress is not None:
 
-        # Transpilations are engine-independent: cache per (benchmark, seed).
-        transpiled_cache = {}
-        for bench_name in benchmark_names:
-            circuit = get_benchmark(bench_name)
-            if circuit.num_qubits > topology.num_qubits:
-                continue
-            for k in range(eval_config.num_seeds):
-                seed = eval_config.base_seed + 977 * k
-                transpiled_cache[(bench_name, k)] = transpile(
-                    circuit, topology, seed=seed
-                )
+        def job_progress(job, status):
+            if job.kind in ("lg", "dp") and status in ("start", "cached"):
+                progress(job.params["topology"], job.params["engine"])
 
-        for engine_name in engine_names:
-            if progress is not None:
-                progress(topo_name, engine_name)
-            netlist.restore(gp_positions)
-            outcome = run_legalization(
-                netlist, grid, get_engine(engine_name), cfg
-            )
-            if eval_config.detailed and engine_name == "qgdp":
-                DetailedPlacer(cfg).run(netlist, outcome.bins)
-            artifacts = _layout_artifacts(netlist, outcome.bins, cfg)
-
-            for bench_name in benchmark_names:
-                samples = []
-                for k in range(eval_config.num_seeds):
-                    transpiled = transpiled_cache.get((bench_name, k))
-                    if transpiled is None:
-                        continue
-                    breakdown = program_fidelity(
-                        netlist,
-                        transpiled,
-                        artifacts["crossings"],
-                        cfg,
-                        eval_config.noise,
-                        hotspots=artifacts["hotspots"],
-                        violations=artifacts["violations"],
-                    )
-                    samples.append(breakdown.fidelity)
-                if not samples:
-                    continue
-                results[(topo_name, bench_name, engine_name)] = FidelityCell(
-                    topology=topo_name,
-                    benchmark=bench_name,
-                    engine=engine_name,
-                    mean=sum(samples) / len(samples),
-                    minimum=min(samples),
-                    maximum=max(samples),
-                    samples=samples,
-                )
-    return results
+    outcome = run_sweep(spec, progress=job_progress)
+    return cells_from_sweep(outcome.cells)

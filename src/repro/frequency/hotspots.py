@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.frequency.proximity import DEFAULT_DELTA_C, tau
 from repro.geometry import adjacency_length, gap_between
 from repro.netlist.netlist import QuantumNetlist
@@ -106,15 +108,68 @@ def qubit_hotspot_pairs(
     return pairs
 
 
-def _block_index(netlist: QuantumNetlist, lb: float) -> dict:
-    """site -> (resonator_key, block) for every wire block."""
-    index = {}
-    for resonator in netlist.resonators:
-        for block in resonator.blocks:
-            col = int(block.x // lb)
-            row = int(block.y // lb)
-            index[(col, row)] = (resonator.key, block)
-    return index
+class _BlockRaster:
+    """Dense per-site arrays of wire-block data for the Eq. 4 walk.
+
+    Mirrors the historical ``{site: (resonator_key, block)}`` dict —
+    including its last-write-wins overwrite semantics when two blocks
+    share a site (possible on unlegalized layouts) — but as flat NumPy
+    arrays over the blocks' bounding box so a whole trace's neighborhood
+    scan becomes one vectorized gather instead of ``samples × (2r+1)²``
+    dict probes.
+    """
+
+    def __init__(self, netlist: QuantumNetlist, lb: float) -> None:
+        self.keys = [r.key for r in netlist.resonators]
+        self.key_index = {key: i for i, key in enumerate(self.keys)}
+        sites = []  # (col, row, key_idx, x, y, freq) in dict-write order
+        for resonator in netlist.resonators:
+            idx = self.key_index[resonator.key]
+            for block in resonator.blocks:
+                col = int(block.x // lb)
+                row = int(block.y // lb)
+                sites.append((col, row, idx, block.x, block.y, block.frequency))
+        self.empty = not sites
+        if self.empty:
+            return
+        self.col_lo = min(s[0] for s in sites)
+        self.row_lo = min(s[1] for s in sites)
+        self.cols = max(s[0] for s in sites) - self.col_lo + 1
+        self.rows = max(s[1] for s in sites) - self.row_lo + 1
+        n = self.cols * self.rows
+        self.bkey = np.full(n, -1, dtype=np.int64)
+        self.bx = np.zeros(n, dtype=np.float64)
+        self.by = np.zeros(n, dtype=np.float64)
+        self.bfreq = np.zeros(n, dtype=np.float64)
+        for col, row, idx, x, y, freq in sites:
+            flat = (col - self.col_lo) * self.rows + (row - self.row_lo)
+            self.bkey[flat] = idx
+            self.bx[flat] = x
+            self.by[flat] = y
+            self.bfreq[flat] = freq
+
+
+def _expand_samples(segments: list) -> tuple:
+    """``(x, y, sample_len, res_idx)`` sample arrays over all segments.
+
+    ``segments`` rows are ``(x1, y1, x2, y2, length, steps, res_idx)`` in
+    walk order; each expands to ``steps + 1`` samples.  Sample coordinates
+    use exactly the historical per-point arithmetic
+    (``x1 + (x2 - x1) * (k / steps)``), elementwise, so they are
+    bit-identical to the scalar walk.
+    """
+    seg = np.array([row[:6] for row in segments], dtype=np.float64)
+    res = np.array([row[6] for row in segments], dtype=np.int64)
+    steps = seg[:, 5].astype(np.int64)
+    counts = steps + 1
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    seg_id = np.repeat(np.arange(len(counts)), counts)
+    k = np.arange(int(counts.sum()), dtype=np.int64) - starts[seg_id]
+    t_frac = k / steps[seg_id]
+    x = seg[seg_id, 0] + (seg[seg_id, 2] - seg[seg_id, 0]) * t_frac
+    y = seg[seg_id, 1] + (seg[seg_id, 3] - seg[seg_id, 1]) * t_frac
+    sample_len = (seg[:, 4] / steps)[seg_id]
+    return (x, y, sample_len, res[seg_id])
 
 
 def _trace_pairs(
@@ -128,57 +183,102 @@ def _trace_pairs(
 
     ``traces`` optionally maps resonator keys to precomputed MST traces,
     sparing the per-call trace rebuild on repeated evaluations.
+
+    The candidate scan (every sample point × its ``(2r+1)²`` neighbor
+    sites) is vectorized over the block raster; the few candidates that
+    survive the conservative vector filters (block present, foreign,
+    nearly resonant, within ~reach) flow through a scalar tail that
+    replays the historical per-sample logic — same scan order, same
+    ``math.hypot`` distances, same accumulation order — so the result is
+    bit-identical to the pre-vectorization walk (pinned by
+    ``tests/frequency/test_hotspots_parity.py``).
     """
-    block_at = _block_index(netlist, lb)
-    radius = int(math.ceil(reach / lb))
+    raster = _BlockRaster(netlist, lb)
     contributions = {}
     min_gap = {}
+    if raster.empty:
+        return []
+    radius = int(math.ceil(reach / lb))
 
+    # Batch every resonator's trace samples into one array pass (walk
+    # order: resonator, then segment, then sample).
+    segments = []
     for resonator in netlist.resonators:
         if traces is not None and resonator.key in traces:
             trace = traces[resonator.key]
         else:
             trace = resonator_trace(netlist, resonator, lb)
+        idx = raster.key_index[resonator.key]
         for (x1, y1), (x2, y2) in trace:
             length = math.hypot(x2 - x1, y2 - y1)
             steps = max(1, int(length / (_TRACE_STEP * lb)))
-            sample_len = length / steps
-            for k in range(steps + 1):
-                t_frac = k / steps
-                x = x1 + (x2 - x1) * t_frac
-                y = y1 + (y2 - y1) * t_frac
-                col = int(x // lb)
-                row = int(y // lb)
-                seen_here = set()
-                for dc in range(-radius, radius + 1):
-                    for dr in range(-radius, radius + 1):
-                        entry = block_at.get((col + dc, row + dr))
-                        if entry is None:
-                            continue
-                        other_key, block = entry
-                        if other_key == resonator.key:
-                            continue
-                        if other_key in seen_here:
-                            continue
-                        dist = math.hypot(block.x - x, block.y - y)
-                        if dist > reach:
-                            continue
-                        t = tau(
-                            resonator.frequency, block.frequency, delta_c
-                        )
-                        if t <= 0.0:
-                            continue
-                        seen_here.add(other_key)
-                        decay = max(0.0, 1.0 - dist / reach)
-                        pair = (
-                            min(resonator.key, other_key),
-                            max(resonator.key, other_key),
-                        )
-                        contributions[pair] = (
-                            contributions.get(pair, 0.0)
-                            + sample_len * decay * t
-                        )
-                        min_gap[pair] = min(min_gap.get(pair, dist), dist)
+            segments.append((x1, y1, x2, y2, length, steps, idx))
+    if not segments:
+        return []
+    x, y, sample_len, res_idx = _expand_samples(segments)
+    res_freq = np.array(
+        [r.frequency for r in netlist.resonators], dtype=np.float64
+    )
+
+    # Neighborhood offsets in the historical scan order (dc outer, dr inner).
+    span = np.arange(-radius, radius + 1)
+    off_c = np.repeat(span, len(span))
+    off_r = np.tile(span, len(span))
+    col = np.floor_divide(x, lb).astype(np.int64) - raster.col_lo
+    row = np.floor_divide(y, lb).astype(np.int64) - raster.row_lo
+
+    cand_col = col[:, None] + off_c[None, :]
+    cand_row = row[:, None] + off_r[None, :]
+    inside = (
+        (cand_col >= 0)
+        & (cand_col < raster.cols)
+        & (cand_row >= 0)
+        & (cand_row < raster.rows)
+    )
+    flat = np.where(inside, cand_col * raster.rows + cand_row, 0)
+    bkey = np.where(inside, raster.bkey[flat], -1)
+    valid = (bkey >= 0) & (bkey != res_idx[:, None])
+    if delta_c > 0:
+        detuning = np.abs(res_freq[res_idx][:, None] - raster.bfreq[flat])
+        valid &= detuning < delta_c
+    # Distances are re-checked with math.hypot in the scalar tail; the
+    # vectorized cut only has to be conservative (never drop a true hit).
+    if valid.any():
+        dist_sq = (raster.bx[flat] - x[:, None]) ** 2 + (
+            raster.by[flat] - y[:, None]
+        ) ** 2
+        valid &= dist_sq <= (reach * (1.0 + 1e-9) + 1e-9) ** 2
+
+    # Scalar tail over survivors, in (sample, scan-offset) order —
+    # np.argwhere yields row-major indices, matching the historical
+    # nested loops exactly.
+    last_sample = -1
+    seen_here = set()
+    for s, w in np.argwhere(valid):
+        if s != last_sample:
+            last_sample = s
+            seen_here = set()
+        other_key = raster.keys[bkey[s, w]]
+        if other_key in seen_here:
+            continue
+        f = flat[s, w]
+        own_key = raster.keys[res_idx[s]]
+        own_freq = float(res_freq[res_idx[s]])
+        d = math.hypot(
+            float(raster.bx[f]) - float(x[s]), float(raster.by[f]) - float(y[s])
+        )
+        if d > reach:
+            continue
+        t = tau(own_freq, float(raster.bfreq[f]), delta_c)
+        if t <= 0.0:
+            continue
+        seen_here.add(other_key)
+        decay = max(0.0, 1.0 - d / reach)
+        pair = (min(own_key, other_key), max(own_key, other_key))
+        contributions[pair] = (
+            contributions.get(pair, 0.0) + float(sample_len[s]) * decay * t
+        )
+        min_gap[pair] = min(min_gap.get(pair, d), d)
 
     pairs = []
     for (key_a, key_b), contribution in sorted(contributions.items()):

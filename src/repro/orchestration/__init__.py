@@ -1,0 +1,52 @@
+"""Orchestration: parallel, resumable, disk-cached experiment sweeps.
+
+The subsystem decomposes a sweep into content-addressed stage jobs
+(:mod:`~repro.orchestration.jobs`), persists stage outputs in a disk
+artifact store (:mod:`~repro.orchestration.store`), executes the job DAG
+serially or across worker processes (:mod:`~repro.orchestration.executor`),
+and writes JSONL results plus a run manifest
+(:mod:`~repro.orchestration.sink`).  :mod:`~repro.orchestration.sweep`
+ties it together behind :func:`run_sweep`; the evaluation harness and the
+``repro sweep`` CLI are thin clients.  See ``docs/orchestration.md``.
+"""
+
+from repro.orchestration.executor import JobFailure, RunStats, run_jobs
+from repro.orchestration.jobs import Job, JobGraph, job_key
+from repro.orchestration.sink import RunSink, read_jsonl
+from repro.orchestration.stages import (
+    config_from_dict,
+    config_to_dict,
+    execute_job,
+    noise_from_dict,
+    noise_to_dict,
+)
+from repro.orchestration.store import ArtifactStore
+from repro.orchestration.sweep import (
+    SweepPlan,
+    SweepResult,
+    SweepSpec,
+    plan_sweep,
+    run_sweep,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "Job",
+    "JobFailure",
+    "JobGraph",
+    "RunSink",
+    "RunStats",
+    "SweepPlan",
+    "SweepResult",
+    "SweepSpec",
+    "config_from_dict",
+    "config_to_dict",
+    "execute_job",
+    "job_key",
+    "noise_from_dict",
+    "noise_to_dict",
+    "plan_sweep",
+    "read_jsonl",
+    "run_jobs",
+    "run_sweep",
+]

@@ -1,0 +1,174 @@
+"""Dependency-aware job execution: serial, or across worker processes.
+
+The serial executor is the reference semantics (and the debugging mode):
+jobs run in graph (= topological) order in the parent process.  The
+parallel executor fans ready jobs out to a
+:class:`concurrent.futures.ProcessPoolExecutor`, releasing dependents as
+their dependencies complete; because runners are pure functions of
+(params, dependency payloads) and payloads are canonicalized JSON, both
+executors produce byte-identical payload sets — scheduling only changes
+wall-clock, never results.
+
+Cache interaction: with ``resume=True``, jobs whose payload already
+exists in the artifact store are not executed at all; they are counted
+as *cached* in the returned :class:`RunStats` (the run-manifest counters
+the resume acceptance test checks).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.orchestration.jobs import JobGraph
+from repro.orchestration.stages import execute_job
+from repro.orchestration.store import ArtifactStore
+
+
+@dataclass
+class RunStats:
+    """What an executor run did: per-kind computed vs. cache-hit counts."""
+
+    total: int = 0
+    computed: int = 0
+    cached: int = 0
+    wall_s: float = 0.0
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, kind: str, cached: bool) -> None:
+        """Count one finished job."""
+        slot = self.by_kind.setdefault(kind, {"computed": 0, "cached": 0})
+        if cached:
+            self.cached += 1
+            slot["cached"] += 1
+        else:
+            self.computed += 1
+            slot["computed"] += 1
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the run manifest."""
+        return {
+            "total": self.total,
+            "computed": self.computed,
+            "cached": self.cached,
+            "wall_s": self.wall_s,
+            "by_kind": self.by_kind,
+        }
+
+
+class JobFailure(RuntimeError):
+    """A job raised; carries the job identity for diagnostics."""
+
+    def __init__(self, job, cause) -> None:
+        super().__init__(
+            f"{job.kind} job {job.key[:12]} failed "
+            f"({job.params.get('topology', '?')}): {cause}"
+        )
+        self.job = job
+
+
+def _notify(progress, job, status) -> None:
+    if progress is not None:
+        progress(job, status)
+
+
+def run_jobs(
+    graph: JobGraph,
+    store: ArtifactStore,
+    workers: int = 0,
+    resume: bool = False,
+    progress=None,
+) -> tuple:
+    """Execute a job graph; returns ``(results, stats)``.
+
+    ``results`` maps job key → payload for every job in the graph, in
+    graph order.  ``workers <= 1`` runs serially in-process; otherwise a
+    process pool of that size is used.  ``progress`` is an optional
+    callable ``(job, status)`` with status in ``{"cached", "start",
+    "done"}``.
+    """
+    t0 = time.perf_counter()
+    stats = RunStats(total=len(graph))
+    results = {}
+    pending = []
+
+    for job in graph.ordered():
+        payload = store.get(job.kind, job.key) if resume else None
+        if payload is not None:
+            results[job.key] = payload
+            stats.record(job.kind, cached=True)
+            _notify(progress, job, "cached")
+        else:
+            pending.append(job)
+
+    if workers <= 1:
+        for job in pending:
+            _notify(progress, job, "start")
+            deps = [results[d] for d in job.deps]
+            try:
+                payload = execute_job(job.kind, job.params, deps)
+            except Exception as exc:
+                raise JobFailure(job, exc) from exc
+            results[job.key] = store.put(job.kind, job.key, payload)
+            stats.record(job.kind, cached=False)
+            _notify(progress, job, "done")
+    else:
+        _run_pool(pending, results, store, stats, workers, progress)
+
+    stats.wall_s = time.perf_counter() - t0
+    ordered = {job.key: results[job.key] for job in graph.ordered()}
+    return ordered, stats
+
+
+def _run_pool(pending, results, store, stats, workers, progress) -> None:
+    """Fan pending jobs out to a process pool, honoring dependencies."""
+    waiting_on = {}  # job key -> number of unfinished deps
+    dependents = {}  # job key -> jobs waiting on it
+    ready = []
+    pending_keys = {job.key for job in pending}
+    order_index = {job.key: i for i, job in enumerate(pending)}
+    for job in pending:
+        unfinished = [d for d in job.deps if d in pending_keys]
+        waiting_on[job.key] = len(unfinished)
+        for dep in unfinished:
+            dependents.setdefault(dep, []).append(job)
+        if not unfinished:
+            ready.append(job)
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        in_flight = {}
+        ready.reverse()  # pop() from the tail keeps graph order
+
+        def submit_ready():
+            while ready:
+                job = ready.pop()
+                deps = [results[d] for d in job.deps]
+                future = pool.submit(execute_job, job.kind, job.params, deps)
+                in_flight[future] = job
+                _notify(progress, job, "start")
+
+        submit_ready()
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            newly_ready = []
+            for future in done:
+                job = in_flight.pop(future)
+                try:
+                    payload = future.result()
+                except Exception as exc:
+                    for other in in_flight:
+                        other.cancel()
+                    raise JobFailure(job, exc) from exc
+                results[job.key] = store.put(job.kind, job.key, payload)
+                stats.record(job.kind, cached=False)
+                _notify(progress, job, "done")
+                for child in dependents.get(job.key, ()):
+                    waiting_on[child.key] -= 1
+                    if waiting_on[child.key] == 0:
+                        newly_ready.append(child)
+            # Unlock dependents in deterministic (graph) order.
+            newly_ready.sort(key=lambda j: order_index[j.key])
+            for job in reversed(newly_ready):
+                ready.append(job)
+            submit_ready()

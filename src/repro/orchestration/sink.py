@@ -1,0 +1,60 @@
+"""Run outputs: a JSONL result stream plus a JSON run manifest.
+
+Each sweep run owns a directory (by convention
+``.repro_cache/runs/<run_id>/``) holding
+
+* ``results.jsonl`` — one JSON object per fidelity cell, written in
+  sweep-plan order (deterministic regardless of execution order), and
+* ``manifest.json`` — the sweep spec, sharding, worker count, and the
+  per-kind computed/cached job counters (the resume acceptance check
+  reads ``jobs.computed`` here).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+class RunSink:
+    """Writes a run's results and manifest into one directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def results_path(self) -> str:
+        """Path of the JSONL result stream."""
+        return os.path.join(self.directory, "results.jsonl")
+
+    @property
+    def manifest_path(self) -> str:
+        """Path of the run manifest."""
+        return os.path.join(self.directory, "manifest.json")
+
+    def write_results(self, rows: list) -> str:
+        """Write all result rows as JSON Lines (one object per line)."""
+        with open(self.results_path, "w", encoding="utf-8") as fh:
+            for row in rows:
+                fh.write(json.dumps(row))
+                fh.write("\n")
+        return self.results_path
+
+    def write_manifest(self, manifest: dict) -> str:
+        """Write the run manifest (pretty-printed, stable key order)."""
+        with open(self.manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return self.manifest_path
+
+
+def read_jsonl(path: str) -> list:
+    """Load a JSONL file back into a list of dicts (test/analysis helper)."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

@@ -1,0 +1,78 @@
+"""Disk-backed artifact store for stage outputs.
+
+Artifacts are JSON documents addressed by job key.  The store keeps an
+in-memory layer for the current run and, when given a root directory
+(``.repro_cache/`` by convention), persists every payload to
+``<root>/<kind>/<key>.json`` with an atomic write (tmp file + rename), so
+interrupted sweeps never leave half-written artifacts and a ``--resume``
+run picks up exactly where the previous one stopped.
+
+Payloads are canonicalized through a JSON round trip on ``put`` so the
+in-memory and on-disk representations are byte-for-byte the same thing:
+a job consuming a freshly computed payload sees exactly what it would
+have read back from disk (floats round-trip exactly; dict insertion
+order is preserved).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+class ArtifactStore:
+    """JSON artifact cache: in-memory, optionally persisted under ``root``."""
+
+    def __init__(self, root: str = None) -> None:
+        self.root = root
+        self._memory = {}
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self.root, kind, f"{key}.json")
+
+    def has(self, kind: str, key: str) -> bool:
+        """True when an artifact exists in memory or on disk."""
+        if key in self._memory:
+            return True
+        return self.root is not None and os.path.exists(self._path(kind, key))
+
+    def get(self, kind: str, key: str):
+        """Load an artifact payload, or None when absent."""
+        if key in self._memory:
+            return self._memory[key]
+        if self.root is None:
+            return None
+        path = self._path(kind, key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        self._memory[key] = payload
+        return payload
+
+    def put(self, kind: str, key: str, payload) -> dict:
+        """Store a payload; returns the canonicalized (JSON round-trip) form."""
+        text = json.dumps(payload)
+        canonical = json.loads(text)
+        self._memory[key] = canonical
+        if self.root is not None:
+            path = self._path(kind, key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        return canonical

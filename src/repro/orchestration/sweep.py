@@ -1,0 +1,268 @@
+"""Sweep planning and the high-level ``run_sweep`` entry point.
+
+A :class:`SweepSpec` captures the paper's evaluation protocol — topology
+× benchmark × engine × mapping-seed — as plain data.  ``plan_sweep``
+expands it into a content-addressed job graph:
+
+* one ``gp`` job per topology,
+* one ``transpile`` job per (topology, benchmark, seed) that fits,
+* one ``lg`` job per (topology, engine) — replaced by a ``dp`` job for
+  the qGDP engine when the spec runs detailed placement,
+* one ``analyze`` job per (topology, engine) layout — the spacing /
+  hotspot / crossing analysis shared by that layout's cells — and
+* one ``fidelity`` job per (topology, benchmark, engine) cell, depending
+  on its layout job, the layout's analysis, and its seed-ordered
+  transpile jobs.
+
+``run_sweep`` executes the graph (serially or across worker processes,
+optionally against the disk artifact store) and assembles the cells in
+plan order, so results are deterministic regardless of scheduling.
+Sharding keeps ``1/n``-th of the cells plus the transitive upstream jobs
+they need; shards share the artifact cache, so a topology's GP or a
+seed's transpilation computed by one shard is a cache hit for the next.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.circuits.registry import get_benchmark
+from repro.orchestration.executor import RunStats, run_jobs
+from repro.orchestration.jobs import Job, JobGraph, canonical_json
+from repro.orchestration.stages import config_to_dict, noise_to_dict
+from repro.orchestration.store import ArtifactStore
+from repro.core.config import QGDPConfig
+from repro.crosstalk.parameters import DEFAULT_NOISE
+from repro.topologies.registry import get_topology
+
+
+@dataclass
+class SweepSpec:
+    """The full parameter set of one experiment sweep (JSON-safe)."""
+
+    topologies: tuple
+    benchmarks: tuple
+    engines: tuple
+    num_seeds: int = 50
+    base_seed: int = 11
+    detailed: bool = False
+    config: dict = field(default_factory=lambda: config_to_dict(QGDPConfig()))
+    noise: dict = field(default_factory=lambda: noise_to_dict(DEFAULT_NOISE))
+
+    def __post_init__(self) -> None:
+        self.topologies = tuple(self.topologies)
+        self.benchmarks = tuple(self.benchmarks)
+        self.engines = tuple(self.engines)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (stored in the run manifest)."""
+        return {
+            "topologies": list(self.topologies),
+            "benchmarks": list(self.benchmarks),
+            "engines": list(self.engines),
+            "num_seeds": self.num_seeds,
+            "base_seed": self.base_seed,
+            "detailed": self.detailed,
+            "config": self.config,
+            "noise": self.noise,
+        }
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable hash identifying the sweep's parameter set."""
+        return hashlib.sha256(
+            canonical_json(self.to_dict()).encode("utf-8")
+        ).hexdigest()
+
+    def mapping_seed(self, k: int) -> int:
+        """The k-th transpilation seed (the paper's 50-seed protocol)."""
+        return self.base_seed + 977 * k
+
+
+@dataclass
+class SweepPlan:
+    """A planned sweep: the job graph plus cell → fidelity-job wiring."""
+
+    graph: JobGraph
+    cells: dict  # (topology, benchmark, engine) -> fidelity job key
+
+
+@dataclass
+class SweepResult:
+    """What :func:`run_sweep` produced."""
+
+    cells: dict  # (topology, benchmark, engine) -> samples/mean/min/max
+    stats: RunStats
+    manifest: dict
+
+    @property
+    def rows(self) -> list:
+        """JSONL-ready result rows in plan order."""
+        rows = []
+        for (topo, bench, engine), cell in self.cells.items():
+            rows.append(
+                {
+                    "topology": topo,
+                    "benchmark": bench,
+                    "engine": engine,
+                    "mean": cell["mean"],
+                    "minimum": cell["minimum"],
+                    "maximum": cell["maximum"],
+                    "num_samples": len(cell["samples"]),
+                    "samples": cell["samples"],
+                }
+            )
+        return rows
+
+
+def plan_sweep(spec: SweepSpec) -> SweepPlan:
+    """Expand a spec into its content-addressed job graph."""
+    graph = JobGraph()
+    cells = {}
+    for topo_name in spec.topologies:
+        topology = get_topology(topo_name)
+        gp = graph.add(
+            Job.create(
+                "gp",
+                {
+                    "topology": topo_name,
+                    "config": spec.config,
+                    "seed": spec.config["seed"],
+                },
+            )
+        )
+
+        # Transpilations are engine-independent: one job per (benchmark,
+        # seed) that fits the device, shared by every engine's cell.
+        transpile_keys = {}
+        fitting = []
+        for bench_name in spec.benchmarks:
+            circuit = get_benchmark(bench_name)
+            if circuit.num_qubits > topology.num_qubits:
+                continue
+            fitting.append(bench_name)
+            keys = []
+            for k in range(spec.num_seeds):
+                job = graph.add(
+                    Job.create(
+                        "transpile",
+                        {
+                            "topology": topo_name,
+                            "benchmark": bench_name,
+                            "seed": spec.mapping_seed(k),
+                        },
+                    )
+                )
+                keys.append(job.key)
+            transpile_keys[bench_name] = keys
+
+        for engine_name in spec.engines:
+            layout_params = {
+                "topology": topo_name,
+                "engine": engine_name,
+                "config": spec.config,
+            }
+            if spec.detailed and engine_name == "qgdp":
+                layout = graph.add(
+                    Job.create("dp", layout_params, deps=(gp.key,))
+                )
+            else:
+                layout = graph.add(
+                    Job.create("lg", layout_params, deps=(gp.key,))
+                )
+            analysis = graph.add(
+                Job.create("analyze", layout_params, deps=(layout.key,))
+            )
+            for bench_name in fitting:
+                cell_job = graph.add(
+                    Job.create(
+                        "fidelity",
+                        {
+                            "topology": topo_name,
+                            "benchmark": bench_name,
+                            "engine": engine_name,
+                            "config": spec.config,
+                            "noise": spec.noise,
+                        },
+                        deps=(
+                            layout.key,
+                            analysis.key,
+                            *transpile_keys[bench_name],
+                        ),
+                    )
+                )
+                cells[(topo_name, bench_name, engine_name)] = cell_job.key
+    return SweepPlan(graph=graph, cells=cells)
+
+
+def _parse_shard(shard) -> tuple:
+    """Normalize a shard selector to ``(index, count)`` (1-based index)."""
+    if shard is None:
+        return None
+    index, count = shard
+    if count < 1 or not (1 <= index <= count):
+        raise ValueError(f"shard must satisfy 1 <= i <= n, got {index}/{count}")
+    return (index, count)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    cache_dir: str = None,
+    workers: int = 0,
+    resume: bool = False,
+    shard: tuple = None,
+    progress=None,
+    store: ArtifactStore = None,
+) -> SweepResult:
+    """Plan and execute a sweep; returns cells, stats and the manifest.
+
+    ``cache_dir`` enables the disk artifact store (ignored when an
+    explicit ``store`` is given); ``resume=True`` reuses any artifact
+    already present instead of recomputing it.  ``shard=(i, n)`` keeps
+    the i-th of n deterministic cell slices (1-based).
+    """
+    shard = _parse_shard(shard)
+    plan = plan_sweep(spec)
+    graph, cell_keys = plan.graph, plan.cells
+    if shard is not None:
+        index, count = shard
+        selected = [
+            cell
+            for pos, cell in enumerate(cell_keys)
+            if pos % count == index - 1
+        ]
+        cell_keys = {cell: cell_keys[cell] for cell in selected}
+        graph = graph.restricted_to(cell_keys.values())
+
+    if store is None:
+        store = ArtifactStore(cache_dir)
+    results, stats = run_jobs(
+        graph, store, workers=workers, resume=resume, progress=progress
+    )
+
+    cells = {}
+    for cell_id, key in cell_keys.items():
+        samples = results[key]["samples"]
+        if not samples:
+            continue
+        cells[cell_id] = {
+            "mean": sum(samples) / len(samples),
+            "minimum": min(samples),
+            "maximum": max(samples),
+            "samples": samples,
+        }
+
+    run_id = spec.spec_hash[:12]
+    if shard is not None:
+        run_id += f"-shard{shard[0]}of{shard[1]}"
+    manifest = {
+        "run_id": run_id,
+        "spec": spec.to_dict(),
+        "shard": None if shard is None else {"index": shard[0], "count": shard[1]},
+        "workers": workers,
+        "resume": resume,
+        "jobs": stats.to_dict(),
+        "num_cells": len(cells),
+    }
+    return SweepResult(cells=cells, stats=stats, manifest=manifest)

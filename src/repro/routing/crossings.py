@@ -40,7 +40,14 @@ from repro.netlist.traces import resonator_trace
 
 @dataclass
 class CrossingReport:
-    """Crossing analysis of one layout."""
+    """Crossing analysis of one layout.
+
+    ``bridged_blocks`` holds **sorted lists** of bridged foreign block
+    ids, so consumers that fold over them (the Eq. 7 fidelity product)
+    see the same order in every process — set iteration order would vary
+    with per-process string hash randomization, which matters once
+    layouts are evaluated in worker pools.
+    """
 
     per_resonator: dict = field(default_factory=dict)
     pair_crossings: dict = field(default_factory=dict)
@@ -155,7 +162,7 @@ def count_crossings(
     per_res = {key: 0 for key in keys}
     for key in keys:
         bridged = _bridged_blocks(traces[key], key, bins, samples.get(key))
-        report.bridged_blocks[key] = bridged
+        report.bridged_blocks[key] = sorted(bridged)
         per_res[key] += len(bridged)
     for a_pos, key_a in enumerate(keys):
         for key_b in keys[a_pos + 1 :]:

@@ -1,0 +1,118 @@
+"""Executor semantics: serial/parallel equivalence, caching, failure."""
+
+import pytest
+
+from repro.core.config import QGDPConfig
+from repro.orchestration import (
+    ArtifactStore,
+    Job,
+    JobFailure,
+    JobGraph,
+    config_to_dict,
+    run_jobs,
+)
+
+_CFG = config_to_dict(QGDPConfig(gp_iterations=40))
+
+
+def _small_graph():
+    graph = JobGraph()
+    gp = graph.add(
+        Job.create(
+            "gp", {"topology": "grid", "config": _CFG, "seed": _CFG["seed"]}
+        )
+    )
+    for engine in ("qgdp", "tetris"):
+        graph.add(
+            Job.create(
+                "lg",
+                {"topology": "grid", "engine": engine, "config": _CFG},
+                deps=(gp.key,),
+            )
+        )
+    for seed in (11, 988):
+        graph.add(
+            Job.create(
+                "transpile",
+                {"topology": "grid", "benchmark": "bv-4", "seed": seed},
+            )
+        )
+    return graph
+
+
+_WALLCLOCK_KEYS = ("runtime_s", "qubit_time_s", "resonator_time_s", "dp_time_s")
+
+
+def _strip_timings(payloads):
+    return {
+        key: {k: v for k, v in payload.items() if k not in _WALLCLOCK_KEYS}
+        for key, payload in payloads.items()
+    }
+
+
+def test_parallel_results_equal_serial():
+    graph = _small_graph()
+    serial, serial_stats = run_jobs(graph, ArtifactStore(), workers=1)
+    parallel, parallel_stats = run_jobs(graph, ArtifactStore(), workers=3)
+    # Bit-identical payloads key for key; only wall-clock fields may vary.
+    assert _strip_timings(serial) == _strip_timings(parallel)
+    assert list(serial) == [j.key for j in graph.ordered()]
+    assert list(parallel) == list(serial)
+    assert serial_stats.computed == len(graph)
+    assert parallel_stats.computed == len(graph)
+
+
+def test_resume_uses_cache(tmp_path):
+    graph = _small_graph()
+    store = ArtifactStore(str(tmp_path / "cache"))
+    first, first_stats = run_jobs(graph, store, workers=1)
+    assert first_stats.computed == len(graph) and first_stats.cached == 0
+
+    fresh_store = ArtifactStore(str(tmp_path / "cache"))
+    second, second_stats = run_jobs(graph, fresh_store, workers=1, resume=True)
+    assert second_stats.computed == 0
+    assert second_stats.cached == len(graph)
+    assert second == first
+
+
+def test_without_resume_cache_is_ignored(tmp_path):
+    graph = _small_graph()
+    store = ArtifactStore(str(tmp_path / "cache"))
+    run_jobs(graph, store, workers=1)
+    _, stats = run_jobs(graph, ArtifactStore(str(tmp_path / "cache")), workers=1)
+    assert stats.computed == len(graph)
+    assert stats.cached == 0
+
+
+def test_stats_count_by_kind():
+    graph = _small_graph()
+    _, stats = run_jobs(graph, ArtifactStore(), workers=1)
+    assert stats.by_kind["gp"]["computed"] == 1
+    assert stats.by_kind["lg"]["computed"] == 2
+    assert stats.by_kind["transpile"]["computed"] == 2
+    assert stats.to_dict()["total"] == len(graph)
+
+
+def test_failing_job_raises_jobfailure():
+    graph = JobGraph()
+    graph.add(
+        Job.create(
+            "transpile",
+            {"topology": "grid", "benchmark": "no-such-99", "seed": 1},
+        )
+    )
+    with pytest.raises(JobFailure):
+        run_jobs(graph, ArtifactStore(), workers=1)
+
+
+def test_progress_events_cover_every_job():
+    graph = _small_graph()
+    events = []
+    run_jobs(
+        graph,
+        ArtifactStore(),
+        workers=1,
+        progress=lambda job, status: events.append((job.kind, status)),
+    )
+    assert sum(1 for _, s in events if s == "start") == len(graph)
+    assert sum(1 for _, s in events if s == "done") == len(graph)

@@ -64,6 +64,126 @@ def test_tables_command(capsys):
     assert "LG Iedge" in out
 
 
+def test_flow_all_runs_every_paper_topology(capsys):
+    from repro.topologies import PAPER_TOPOLOGIES
+
+    assert main(["flow", "all", "--no-dp"]) == 0
+    out = capsys.readouterr().out
+    for name in PAPER_TOPOLOGIES:
+        assert f"=== {name} ===" in out
+    assert out.count("[lg]") == len(PAPER_TOPOLOGIES)
+
+
+def test_flow_all_rejects_json_export(capsys):
+    assert main(["flow", "all", "--no-dp", "--json", "x.json"]) == 2
+
+
+def test_sweep_command_writes_results_and_manifest(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    code = main(
+        [
+            "sweep",
+            "--topologies", "grid",
+            "--benchmarks", "bv-4",
+            "--engines", "qgdp",
+            "--seeds", "2",
+            "--workers", "1",
+            "--cache-dir", cache,
+            "--quiet",
+            "--table",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "qGDP-LG" in out  # the --table Fig. 8 rendering
+    assert "results:" in out and "manifest:" in out
+
+    run_dirs = list((tmp_path / "cache" / "runs").iterdir())
+    assert len(run_dirs) == 1
+    rows = [
+        json.loads(line)
+        for line in (run_dirs[0] / "results.jsonl").read_text().splitlines()
+    ]
+    assert len(rows) == 1
+    assert rows[0]["topology"] == "grid"
+    assert rows[0]["num_samples"] == 2
+    assert 0.0 <= rows[0]["mean"] <= 1.0
+    manifest = json.loads((run_dirs[0] / "manifest.json").read_text())
+    assert manifest["jobs"]["computed"] > 0
+    assert manifest["jobs"]["cached"] == 0
+
+
+def test_sweep_resume_reports_zero_recomputed(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    args = [
+        "sweep",
+        "--topologies", "grid",
+        "--benchmarks", "bv-4",
+        "--engines", "qgdp",
+        "--seeds", "2",
+        "--workers", "1",
+        "--cache-dir", cache,
+        "--quiet",
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "0 jobs computed" in out
+    run_dirs = list((tmp_path / "cache" / "runs").iterdir())
+    manifest = json.loads((run_dirs[0] / "manifest.json").read_text())
+    assert manifest["jobs"]["computed"] == 0
+    assert manifest["jobs"]["cached"] == manifest["jobs"]["total"]
+
+
+def test_sweep_shard_selects_subset(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    code = main(
+        [
+            "sweep",
+            "--topologies", "grid",
+            "--benchmarks", "bv-4", "qaoa-4",
+            "--engines", "qgdp",
+            "--seeds", "1",
+            "--workers", "1",
+            "--shard", "1/2",
+            "--cache-dir", cache,
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 cells" in out
+    assert "shard1of2" in out
+
+
+def test_sweep_rejects_malformed_shard():
+    for bad in ("nonsense", "0/2", "3/2", "1/0"):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--shard", bad])
+
+
+def test_sweep_no_cache_leaves_cache_dir_alone(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        [
+            "sweep",
+            "--topologies", "grid",
+            "--benchmarks", "bv-4",
+            "--engines", "qgdp",
+            "--seeds", "1",
+            "--workers", "1",
+            "--no-cache",
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    assert not (tmp_path / ".repro_cache").exists()
+    run_dirs = [p for p in tmp_path.iterdir() if p.name.startswith("repro-sweep-")]
+    assert len(run_dirs) == 1
+    assert (run_dirs[0] / "results.jsonl").exists()
+
+
 def test_parser_rejects_unknown_topology():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["flow", "nonexistent"])

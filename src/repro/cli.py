@@ -166,6 +166,7 @@ def _cmd_sweep(args) -> int:
         resume=args.resume,
         shard=args.shard,
         progress=progress,
+        retries=args.retries,
     )
 
     if args.out:
@@ -261,6 +262,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="reuse cached stage artifacts instead of recomputing",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per flaky job before the sweep aborts",
     )
     sweep.add_argument(
         "--shard",

@@ -12,9 +12,9 @@ nor its hotspot score regresses — otherwise everything is restored
 The accept/revert metric evaluations dominated the runtime of a naive
 implementation: every window check rebuilt every resonator's MST trace and
 re-scored the whole netlist.  This placer is *incremental* instead — it
-keeps per-resonator caches (traces, sampled trace sites, cluster counts,
-crossing counts, pairwise intersection counts and the full hotspot score
-map) that are only invalidated for the ripped-up resonator and reinstated
+keeps per-resonator caches (traces, sampled trace sites, trace bboxes,
+cluster counts, crossing counts, pairwise intersection counts and the
+full hotspot score map) that are only invalidated for the ripped-up resonator and reinstated
 wholesale on revert, which is exact because every other resonator's blocks
 are untouched.  One :class:`~repro.routing.maze.MazeRouter` (and its
 Dijkstra scratch arrays) is shared across all flagged resonators, and the
@@ -40,6 +40,7 @@ from repro.routing.crossings import (
     build_traces,
     count_crossings,
     resonator_crossings,
+    trace_bbox,
     trace_site_indices,
 )
 from repro.routing.maze import MazeRouter
@@ -203,6 +204,7 @@ class DetailedPlacer:
             key: trace_site_indices(trace, bins)
             for key, trace in traces.items()
         }
+        bboxes = {key: trace_bbox(trace) for key, trace in traces.items()}
         # Qubit macros never move during detailed placement, so their
         # pairwise hotspot terms are computed once for the whole run.
         qubit_pairs = qubit_hotspot_pairs(netlist, cfg.reach, cfg.delta_c)
@@ -215,7 +217,7 @@ class DetailedPlacer:
             qubit_pairs=qubit_pairs,
         )
         crossing_report = count_crossings(
-            netlist, bins, traces=traces, samples=samples
+            netlist, bins, traces=traces, samples=samples, bboxes=bboxes
         )
         crossing_counts = dict(crossing_report.per_resonator)
         pair_counts = dict(crossing_report.pair_crossings)
@@ -249,6 +251,7 @@ class DetailedPlacer:
                         traces=traces,
                         samples=samples.get(k),
                         pair_counts=pair_counts,
+                        bboxes=bboxes,
                     )
                 total += crossing_counts[k]
             return total
@@ -286,9 +289,11 @@ class DetailedPlacer:
             # blocks (hence trace, samples and cluster count) did not.
             old_trace = traces[key]
             old_samples = samples[key]
+            old_bbox = bboxes[key]
             old_pairs = drop_pairs_involving(key)
             traces[key] = resonator_trace(netlist, resonator, lb)
             samples[key] = trace_site_indices(traces[key], bins)
+            bboxes[key] = trace_bbox(traces[key])
             target_clusters = cluster_count(resonator, lb)
 
             clusters_after = sum(
@@ -312,6 +317,7 @@ class DetailedPlacer:
                     traces=traces,
                     samples=samples.get(k),
                     pair_counts=pair_counts,
+                    bboxes=bboxes,
                 )
                 for k in keys
             }
@@ -344,6 +350,7 @@ class DetailedPlacer:
                 # the caches touched while evaluating the attempt.
                 traces[key] = old_trace
                 samples[key] = old_samples
+                bboxes[key] = old_bbox
                 drop_pairs_involving(key)
                 pair_counts.update(old_pairs)
 

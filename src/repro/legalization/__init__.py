@@ -18,7 +18,13 @@ strategies the paper compares: qGDP-LG, Q-Abacus, Q-Tetris, Abacus, Tetris.
 """
 
 from repro.legalization.bins import BinGrid
-from repro.legalization.constraint_graph import build_constraint_graphs, Arc
+from repro.legalization.constraint_graph import (
+    Arc,
+    AxisArcs,
+    build_constraint_arrays,
+    build_constraint_graphs,
+    transitive_reduction,
+)
 from repro.legalization.macro_lp import legalize_macros, MacroLegalizationResult
 from repro.legalization.qubit_legalizer import legalize_qubits, QubitLegalizationResult
 from repro.legalization.tetris import tetris_legalize
@@ -36,7 +42,10 @@ from repro.legalization.engines import (
 __all__ = [
     "BinGrid",
     "build_constraint_graphs",
+    "build_constraint_arrays",
+    "transitive_reduction",
     "Arc",
+    "AxisArcs",
     "legalize_macros",
     "MacroLegalizationResult",
     "legalize_qubits",

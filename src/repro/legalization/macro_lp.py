@@ -6,14 +6,28 @@ positions subject to the arc separations and the border bounds.  This is
 the dual-of-min-cost-flow formulation the paper adopts from Tang et
 al. [26]; with ≤ 127 qubits scipy's HiGHS solves it in milliseconds.
 
+The constraint matrix is assembled from vectorized index/data arrays
+(one ``coo_matrix`` build, no per-row Python loop) over the axis arc
+arrays of :func:`~repro.legalization.constraint_graph
+.build_constraint_arrays`; variable and row order match the historical
+scalar assembly exactly, so HiGHS sees the same problem and returns the
+same vertex.
+
 After the continuous solve, positions are snapped to the site grid and a
-forward/backward repair pass restores any arc separation the rounding
-broke — sound because all separations and borders are integral in site
-units, so a feasible continuous solution implies a feasible integral one.
+single bound-respecting forward sweep restores any arc separation the
+rounding broke: upper limits are first propagated backwards from the
+border through the arc DAG, then each node (in topological order) is
+pushed up to its predecessors' separations and clamped to its limit —
+sound because all separations and borders are integral in site units, so
+a feasible continuous solution implies a feasible integral one.  (The
+historical forward/backward pair could pull a node below a bound the
+forward pass had just restored and report spurious infeasibility on
+tight-border instances; the combined clamp cannot.)
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,12 +35,21 @@ from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.geometry import SiteGrid
-from repro.legalization.constraint_graph import Arc, build_constraint_graphs
+from repro.legalization.constraint_graph import (
+    AxisArcs,
+    build_constraint_arrays,
+    transitive_reduction,
+)
 
 
 @dataclass
 class MacroLegalizationResult:
-    """Outcome of one macro legalization attempt."""
+    """Outcome of one macro legalization attempt.
+
+    On failure (``feasible`` is False) ``positions`` is the *input*
+    placement, unchanged — callers keep a usable layout either way and
+    escalate (e.g. relax spacing) off the ``feasible`` flag alone.
+    """
 
     feasible: bool
     positions: dict
@@ -36,100 +59,171 @@ class MacroLegalizationResult:
 
 
 def _solve_axis(
-    ids: list,
-    targets: dict,
-    half_sizes: dict,
-    arcs: list,
+    arcs: AxisArcs,
+    targets: np.ndarray,
+    half_sizes: np.ndarray,
     extent: float,
-) -> dict:
-    """Min-displacement 1-D LP; returns id → coordinate or None if infeasible."""
-    n = len(ids)
-    pos_of = {node: k for k, node in enumerate(ids)}
-    num_vars = 2 * n  # [x_0..x_{n-1}, d_0..d_{n-1}]
+) -> np.ndarray:
+    """Min-displacement 1-D LP; returns coordinates or None if infeasible.
 
-    rows, cols, data, rhs = [], [], [], []
+    Variables are ``[x_0..x_{n-1}, d_0..d_{n-1}]`` with ``arcs`` indexing
+    into the same node order as ``targets``.  Rows: one per arc
+    (``x_lo - x_hi <= -sep``), then two per node (``±(x_k - t_k) <=
+    d_k``), assembled as flat index/data arrays.
+    """
+    n = targets.size
+    m = len(arcs)
+    num_vars = 2 * n
+    ks = np.arange(n)
 
-    def add_row(entries: list, bound: float) -> None:
-        row = len(rhs)
-        for col, coeff in entries:
-            rows.append(row)
-            cols.append(col)
-            data.append(coeff)
-        rhs.append(bound)
-
-    for arc in arcs:
-        lo, hi = pos_of[arc.lo], pos_of[arc.hi]
-        add_row([(lo, 1.0), (hi, -1.0)], -arc.separation)
-    for node in ids:
-        k = pos_of[node]
-        add_row([(k, 1.0), (n + k, -1.0)], targets[node])
-        add_row([(k, -1.0), (n + k, -1.0)], -targets[node])
+    rows = np.concatenate(
+        [np.repeat(np.arange(m), 2), m + np.repeat(np.arange(2 * n), 2)]
+    )
+    cols = np.concatenate(
+        [
+            np.stack([arcs.lo, arcs.hi], axis=1).ravel(),
+            (np.repeat(ks, 4) + np.tile([0, n, 0, n], n)),
+        ]
+    )
+    data = np.concatenate(
+        [np.tile([1.0, -1.0], m), np.tile([1.0, -1.0, -1.0, -1.0], n)]
+    )
+    rhs = np.concatenate(
+        [-arcs.sep, np.stack([targets, -targets], axis=1).ravel()]
+    )
 
     a_ub = sparse.coo_matrix(
-        (data, (rows, cols)), shape=(len(rhs), num_vars)
+        (data, (rows, cols)), shape=(rhs.size, num_vars)
     ).tocsr()
     c = np.concatenate([np.zeros(n), np.ones(n)])
-    bounds = [
-        (half_sizes[node], extent - half_sizes[node]) for node in ids
-    ] + [(0.0, None)] * n
-
-    result = linprog(
-        c, A_ub=a_ub, b_ub=np.array(rhs), bounds=bounds, method="highs"
+    bounds = np.concatenate(
+        [
+            np.stack([half_sizes, extent - half_sizes], axis=1),
+            np.tile([0.0, np.inf], (n, 1)),
+        ]
     )
+
+    result = linprog(c, A_ub=a_ub, b_ub=rhs, bounds=bounds, method="highs")
     if not result.success:
         return None
-    return {node: float(result.x[pos_of[node]]) for node in ids}
+    return result.x[:n]
+
+
+def _topological_order(
+    n: int, arcs: AxisArcs, snapped: np.ndarray, ids: list
+) -> np.ndarray:
+    """Arc-respecting node order, by ``(snapped, id)`` among ready nodes.
+
+    The ``(snapped, id)`` sort is already topological whenever the
+    snapped coordinates respect every arc — the normal case, since
+    rounding moves each centre by less than half a site — and is then
+    returned directly from one ``lexsort``.  Only when rounding produced
+    a coordinate tie against an arc direction does the Kahn fallback run;
+    either way the arc still comes out forward instead of being silently
+    flipped.
+    """
+    order = np.lexsort((ids, snapped))
+    rank = np.empty(n, dtype=np.intp)
+    rank[order] = np.arange(n)
+    if np.all(rank[arcs.lo] < rank[arcs.hi]):
+        return order
+
+    indegree = np.zeros(n, dtype=np.int64)
+    np.add.at(indegree, arcs.hi, 1)
+    out_edges = [[] for _ in range(n)]
+    for lo, hi in zip(arcs.lo.tolist(), arcs.hi.tolist()):
+        out_edges[lo].append(hi)
+
+    heap = [
+        (snapped[k], ids[k], k) for k in range(n) if indegree[k] == 0
+    ]
+    heapq.heapify(heap)
+    kahn = []
+    while heap:
+        _, _, k = heapq.heappop(heap)
+        kahn.append(k)
+        for succ in out_edges[k]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(heap, (snapped[succ], ids[succ], succ))
+    return np.array(kahn, dtype=np.intp)
+
+
+def _grouped_arcs(rank_key: np.ndarray, n: int, *columns) -> tuple:
+    """Sort arc columns by a node-rank key and return per-rank boundaries.
+
+    ``starts[r]:starts[r + 1]`` then slices every sorted column to the
+    arcs whose key node has rank ``r`` — the grouping both repair sweeps
+    use to reduce a node's arcs in one vectorized min/max.
+    """
+    by_rank = np.argsort(rank_key, kind="stable")
+    key_sorted = rank_key[by_rank]
+    starts = np.searchsorted(key_sorted, np.arange(n + 1))
+    return (starts, *(column[by_rank] for column in columns))
 
 
 def _snap_and_repair(
     ids: list,
-    solution: dict,
-    half_sizes: dict,
-    arcs: list,
+    solution: np.ndarray,
+    half_sizes: np.ndarray,
+    arcs: AxisArcs,
     extent: float,
     lb: float,
-) -> dict:
+) -> np.ndarray:
     """Snap to the site grid, then restore arc separations.
 
     A macro of width ``w`` sites is aligned when ``centre - w/2`` is a
-    multiple of ``lb``.  The forward pass (in coordinate order) pushes
-    violators up; the backward pass pulls anything past the border back
-    down.  Both passes preserve grid alignment because separations and
-    borders are integral in ``lb``.
+    multiple of ``lb``.  Upper limits are propagated backwards through
+    the arc DAG from the border, then one forward sweep pushes each node
+    up to its predecessors' separations and clamps it to its limit — so a
+    node is never moved below a bound that was already restored.  Both
+    steps preserve grid alignment because separations and borders are
+    integral in ``lb``.  Each node's arc reduction is one vectorized
+    min/max over its grouped arc slice (exact — no accumulation order).
     """
-    snapped = {}
-    for node in ids:
-        half = half_sizes[node]
-        snapped[node] = round((solution[node] - half) / lb) * lb + half
+    n = solution.size
+    snapped = np.rint((solution - half_sizes) / lb) * lb + half_sizes
 
-    order = sorted(ids, key=lambda node: (snapped[node], node))
-    rank = {node: k for k, node in enumerate(order)}
-    incoming = {node: [] for node in ids}
-    outgoing = {node: [] for node in ids}
-    for arc in arcs:
-        # Orient along the snapped order so both passes are single sweeps.
-        lo, hi = arc.lo, arc.hi
-        if rank[lo] > rank[hi]:
-            lo, hi = hi, lo
-        incoming[hi].append(Arc(lo, hi, arc.separation))
-        outgoing[lo].append(Arc(lo, hi, arc.separation))
+    order = _topological_order(n, arcs, snapped, ids)
+    rank = np.empty(n, dtype=np.intp)
+    rank[order] = np.arange(n)
 
-    for node in order:
+    out_starts, out_hi, out_sep = _grouped_arcs(
+        rank[arcs.lo], n, arcs.hi, arcs.sep
+    )
+    in_starts, in_lo, in_sep = _grouped_arcs(
+        rank[arcs.hi], n, arcs.lo, arcs.sep
+    )
+
+    hi_limit = extent - half_sizes
+    for r in range(n - 1, -1, -1):
+        lo_arc, hi_arc = out_starts[r], out_starts[r + 1]
+        if lo_arc == hi_arc:
+            continue
+        node = order[r]
+        head_limit = (
+            hi_limit[out_hi[lo_arc:hi_arc]] - out_sep[lo_arc:hi_arc]
+        ).min()
+        hi_limit[node] = min(hi_limit[node], head_limit)
+
+    for r in range(n):
+        node = order[r]
+        lo_arc, hi_arc = in_starts[r], in_starts[r + 1]
         lo_bound = half_sizes[node]
-        for arc in incoming[node]:
-            lo_bound = max(lo_bound, snapped[arc.lo] + arc.separation)
-        snapped[node] = max(snapped[node], lo_bound)
-    for node in reversed(order):
-        hi_bound = extent - half_sizes[node]
-        for arc in outgoing[node]:
-            hi_bound = min(hi_bound, snapped[arc.hi] - arc.separation)
-        snapped[node] = min(snapped[node], hi_bound)
+        if lo_arc != hi_arc:
+            pred_bound = (
+                snapped[in_lo[lo_arc:hi_arc]] + in_sep[lo_arc:hi_arc]
+            ).max()
+            lo_bound = max(lo_bound, pred_bound)
+        snapped[node] = min(max(snapped[node], lo_bound), hi_limit[node])
     return snapped
 
 
-def _arcs_satisfied(solution: dict, arcs: list, tol: float = 1e-6) -> bool:
-    return all(
-        solution[a.hi] - solution[a.lo] >= a.separation - tol for a in arcs
+def _arcs_satisfied(
+    solution: np.ndarray, arcs: AxisArcs, tol: float = 1e-6
+) -> bool:
+    return bool(
+        np.all(solution[arcs.hi] - solution[arcs.lo] >= arcs.sep - tol)
     )
 
 
@@ -139,43 +233,75 @@ def legalize_macros(
     sizes: dict,
     grid: SiteGrid,
     spacing: float = 0.0,
+    reduce_arcs: bool = False,
 ) -> MacroLegalizationResult:
     """Legalize macros with the given extra spacing; positions unchanged on failure.
 
     This is the classical macro legalizer when ``spacing == 0`` and the
     building block of the quantum qubit legalizer otherwise.
+    ``reduce_arcs`` runs the transitive-reduction pass over both
+    constraint graphs before the solve — the same feasible region from
+    (typically far) fewer LP rows, at the cost of exact positional parity
+    with the full-graph solve on degenerate optima.
     """
     if not indices:
         return MacroLegalizationResult(True, {}, 0.0, 0.0, spacing)
-    h_arcs, v_arcs = build_constraint_graphs(indices, positions, sizes, spacing)
-    half_w = {i: sizes[i][0] / 2.0 for i in indices}
-    half_h = {i: sizes[i][1] / 2.0 for i in indices}
-    targets_x = {i: positions[i][0] for i in indices}
-    targets_y = {i: positions[i][1] for i in indices}
+    ordered, h_arcs, v_arcs = build_constraint_arrays(
+        indices, positions, sizes, spacing
+    )
+    n = len(indices)
+    if reduce_arcs:
+        h_arcs = transitive_reduction(h_arcs, n)
+        v_arcs = transitive_reduction(v_arcs, n)
+    # LP variables keep the caller's id order (the historical column
+    # order); remap the sorted-order arc endpoints onto it.
+    pos_in_input = {node: k for k, node in enumerate(indices)}
+    to_input = np.array(
+        [pos_in_input[node] for node in ordered], dtype=np.intp
+    )
+    h_arcs = AxisArcs(to_input[h_arcs.lo], to_input[h_arcs.hi], h_arcs.sep)
+    v_arcs = AxisArcs(to_input[v_arcs.lo], to_input[v_arcs.hi], v_arcs.sep)
 
-    sol_x = _solve_axis(indices, targets_x, half_w, h_arcs, grid.width)
-    sol_y = _solve_axis(indices, targets_y, half_h, v_arcs, grid.height)
+    targets = np.array([positions[i] for i in indices], dtype=np.float64)
+    half = np.array([sizes[i] for i in indices], dtype=np.float64) / 2.0
+
+    def failure() -> MacroLegalizationResult:
+        return MacroLegalizationResult(
+            False, dict(positions), 0.0, 0.0, spacing
+        )
+
+    sol_x = _solve_axis(h_arcs, targets[:, 0], half[:, 0], grid.width)
+    sol_y = _solve_axis(v_arcs, targets[:, 1], half[:, 1], grid.height)
     if sol_x is None or sol_y is None:
-        return MacroLegalizationResult(False, {}, 0.0, 0.0, spacing)
+        return failure()
 
-    sol_x = _snap_and_repair(indices, sol_x, half_w, h_arcs, grid.width, grid.lb)
-    sol_y = _snap_and_repair(indices, sol_y, half_h, v_arcs, grid.height, grid.lb)
+    sol_x = _snap_and_repair(
+        indices, sol_x, half[:, 0], h_arcs, grid.width, grid.lb
+    )
+    sol_y = _snap_and_repair(
+        indices, sol_y, half[:, 1], v_arcs, grid.height, grid.lb
+    )
     if not (_arcs_satisfied(sol_x, h_arcs) and _arcs_satisfied(sol_y, v_arcs)):
-        return MacroLegalizationResult(False, {}, 0.0, 0.0, spacing)
-    for i in indices:
-        if not (half_w[i] - 1e-6 <= sol_x[i] <= grid.width - half_w[i] + 1e-6):
-            return MacroLegalizationResult(False, {}, 0.0, 0.0, spacing)
-        if not (half_h[i] - 1e-6 <= sol_y[i] <= grid.height - half_h[i] + 1e-6):
-            return MacroLegalizationResult(False, {}, 0.0, 0.0, spacing)
+        return failure()
+    if not (
+        np.all(half[:, 0] - 1e-6 <= sol_x)
+        and np.all(sol_x <= grid.width - half[:, 0] + 1e-6)
+        and np.all(half[:, 1] - 1e-6 <= sol_y)
+        and np.all(sol_y <= grid.height - half[:, 1] + 1e-6)
+    ):
+        return failure()
 
-    legal = {i: (sol_x[i], sol_y[i]) for i in indices}
-    moves = [
-        abs(legal[i][0] - positions[i][0]) + abs(legal[i][1] - positions[i][1])
-        for i in indices
-    ]
+    # Left-to-right Python summation keeps the reported displacement
+    # bit-identical to the historical per-node accumulation.
+    moves = (
+        np.abs(sol_x - targets[:, 0]) + np.abs(sol_y - targets[:, 1])
+    ).tolist()
     return MacroLegalizationResult(
         feasible=True,
-        positions=legal,
+        positions={
+            i: (float(sol_x[k]), float(sol_y[k]))
+            for k, i in enumerate(indices)
+        },
         total_displacement=float(sum(moves)),
         max_displacement=float(max(moves)),
         spacing=spacing,

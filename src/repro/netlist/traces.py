@@ -7,6 +7,15 @@ qubit pad's boundary points), with tree edges connecting the closest
 cross pair — so a cluster touching its qubit contributes a near-zero
 segment rather than a chord to its centroid.
 
+The Prim build is array-backed: all terminal points are stacked once,
+every squared cross distance comes from one broadcast NumPy pass, and
+each growth step is a blocked min-reduction over the set-pair distance
+matrix.  Tie-breaking is bit-identical to the historical scalar scan
+(first minimum in tree-insertion × candidate order, then first minimal
+point pair in row-major order), and the returned segment endpoints are
+the *original* input tuples, so consumers see exactly the scalar
+kernel's output.
+
 Both the crossing counter (:mod:`repro.routing.crossings`) and the
 trace-exposure hotspot model (:mod:`repro.frequency.hotspots`) consume
 these traces.
@@ -14,12 +23,18 @@ these traces.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.netlist.clusters import block_clusters
 from repro.netlist.netlist import QuantumNetlist
 
 
 def _closest_pair(points_a: list, points_b: list) -> tuple:
-    """``(d2, pa, pb)`` — the closest cross pair between two point sets."""
+    """``(d2, pa, pb)`` — the closest cross pair between two point sets.
+
+    Scalar reference kernel; :func:`mst_segments` reproduces its
+    first-minimum tie-break with an array argmin.
+    """
     best = None
     for pa in points_a:
         for pb in points_b:
@@ -30,21 +45,52 @@ def _closest_pair(points_a: list, points_b: list) -> tuple:
 
 
 def mst_segments(terminal_sets: list) -> list:
-    """Straight-segment MST over point sets (Prim, tiny n)."""
-    if len(terminal_sets) < 2:
+    """Straight-segment MST over point sets (array Prim).
+
+    Equivalent to the historical scalar Prim: grow from set 0, each step
+    joining the tree to the out-set whose closest cross pair is nearest,
+    scanning tree members in insertion order and out-sets in remaining
+    input order with strict-less updates.  ``np.argmin`` returns the
+    first flat minimum in row-major order, which is exactly that
+    tie-break, so the produced segments are identical.
+    """
+    num_sets = len(terminal_sets)
+    if num_sets < 2:
         return []
+
+    sizes = [len(points) for points in terminal_sets]
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    stacked = np.array(
+        [point for points in terminal_sets for point in points],
+        dtype=np.float64,
+    )
+    dx = stacked[:, 0][:, None] - stacked[:, 0][None, :]
+    dy = stacked[:, 1][:, None] - stacked[:, 1][None, :]
+    d2 = dx * dx + dy * dy
+
+    # Blocked min-reduction: the closest cross distance for every set
+    # pair in two reduceat passes (exact — float min is order-free).
+    # The terminal sets are tiny, so the Prim scan below runs over the
+    # S×S Python list; the argmin *pair* is only resolved for the S-1
+    # set pairs that actually join the tree.
+    col_min = np.minimum.reduceat(d2, offsets[:-1], axis=1)
+    pair_min = np.minimum.reduceat(col_min, offsets[:-1], axis=0).tolist()
+
     in_tree = [0]
-    out = list(range(1, len(terminal_sets)))
+    out = list(range(1, num_sets))
     segments = []
     while out:
         best = None
         for i in in_tree:
+            row = pair_min[i]
             for j in out:
-                d2, pa, pb = _closest_pair(terminal_sets[i], terminal_sets[j])
-                if best is None or d2 < best[0]:
-                    best = (d2, pa, pb, j)
-        _, pa, pb, j = best
-        segments.append((pa, pb))
+                value = row[j]
+                if best is None or value < best[0]:
+                    best = (value, i, j)
+        _, i, j = best
+        block = d2[offsets[i] : offsets[i + 1], offsets[j] : offsets[j + 1]]
+        ai, bj = divmod(int(np.argmin(block)), block.shape[1])
+        segments.append((terminal_sets[i][ai], terminal_sets[j][bj]))
         in_tree.append(j)
         out.remove(j)
     return segments

@@ -18,7 +18,13 @@ the resume acceptance test checks).
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 
 from repro.orchestration.jobs import JobGraph
@@ -28,13 +34,21 @@ from repro.orchestration.store import ArtifactStore
 
 @dataclass
 class RunStats:
-    """What an executor run did: per-kind computed vs. cache-hit counts."""
+    """What an executor run did: per-kind computed vs. cache-hit counts.
+
+    ``failures`` is the run-manifest failure log: one JSON-safe entry per
+    failed *attempt* (job key, kind, exception type, traceback string and
+    the 1-based attempt number), so a retried-then-recovered flaky job
+    still leaves its trace in the manifest, and a permanently failed job
+    is fully attributable instead of vanishing into a bare exception.
+    """
 
     total: int = 0
     computed: int = 0
     cached: int = 0
     wall_s: float = 0.0
     by_kind: dict = field(default_factory=dict)
+    failures: list = field(default_factory=list)
 
     def record(self, kind: str, cached: bool) -> None:
         """Count one finished job."""
@@ -46,6 +60,22 @@ class RunStats:
             self.computed += 1
             slot["computed"] += 1
 
+    def record_failure(self, job, exc: BaseException, attempt: int) -> dict:
+        """Log one failed attempt; returns the failure-log entry."""
+        entry = {
+            "key": job.key,
+            "kind": job.kind,
+            "topology": job.params.get("topology"),
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+            "traceback": "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            "attempt": attempt,
+        }
+        self.failures.append(entry)
+        return entry
+
     def to_dict(self) -> dict:
         """JSON-safe form for the run manifest."""
         return {
@@ -54,18 +84,20 @@ class RunStats:
             "cached": self.cached,
             "wall_s": self.wall_s,
             "by_kind": self.by_kind,
+            "failures": self.failures,
         }
 
 
 class JobFailure(RuntimeError):
-    """A job raised; carries the job identity for diagnostics."""
+    """A job raised on every attempt; carries identity + failure log."""
 
-    def __init__(self, job, cause) -> None:
+    def __init__(self, job, cause, failures: list = None) -> None:
         super().__init__(
             f"{job.kind} job {job.key[:12]} failed "
             f"({job.params.get('topology', '?')}): {cause}"
         )
         self.job = job
+        self.failures = list(failures or [])
 
 
 def _notify(progress, job, status) -> None:
@@ -79,6 +111,7 @@ def run_jobs(
     workers: int = 0,
     resume: bool = False,
     progress=None,
+    retries: int = 0,
 ) -> tuple:
     """Execute a job graph; returns ``(results, stats)``.
 
@@ -86,8 +119,13 @@ def run_jobs(
     graph order.  ``workers <= 1`` runs serially in-process; otherwise a
     process pool of that size is used.  ``progress`` is an optional
     callable ``(job, status)`` with status in ``{"cached", "start",
-    "done"}``.
+    "done"}``.  ``retries`` re-runs a failing job up to that many extra
+    times before raising :class:`JobFailure`; every failed attempt is
+    logged in ``stats.failures`` (and on the raised exception), so one
+    flaky worker no longer kills a sweep silently.
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     t0 = time.perf_counter()
     stats = RunStats(total=len(graph))
     results = {}
@@ -106,28 +144,47 @@ def run_jobs(
         for job in pending:
             _notify(progress, job, "start")
             deps = [results[d] for d in job.deps]
-            try:
-                payload = execute_job(job.kind, job.params, deps)
-            except Exception as exc:
-                raise JobFailure(job, exc) from exc
+            for attempt in range(1, retries + 2):
+                try:
+                    payload = execute_job(job.kind, job.params, deps)
+                    break
+                except Exception as exc:
+                    stats.record_failure(job, exc, attempt)
+                    if attempt > retries:
+                        raise JobFailure(
+                            job, exc, failures=stats.failures
+                        ) from exc
             results[job.key] = store.put(job.kind, job.key, payload)
             stats.record(job.kind, cached=False)
             _notify(progress, job, "done")
     else:
-        _run_pool(pending, results, store, stats, workers, progress)
+        _run_pool(pending, results, store, stats, workers, progress, retries)
 
     stats.wall_s = time.perf_counter() - t0
     ordered = {job.key: results[job.key] for job in graph.ordered()}
     return ordered, stats
 
 
-def _run_pool(pending, results, store, stats, workers, progress) -> None:
-    """Fan pending jobs out to a process pool, honoring dependencies."""
+def _run_pool(
+    pending, results, store, stats, workers, progress, retries=0
+) -> None:
+    """Fan pending jobs out to a process pool, honoring dependencies.
+
+    A failing job is resubmitted up to ``retries`` times (each failed
+    attempt logged in ``stats.failures``) before the run is aborted with
+    :class:`JobFailure` — so a transiently flaky *job* costs one
+    resubmission, not the whole sweep.  A worker process dying abruptly
+    (:class:`BrokenExecutor`) breaks the whole pool, which cannot serve
+    further submissions — that aborts immediately with
+    :class:`JobFailure` (carrying the failure log) rather than leaking a
+    raw pool exception from the resubmission.
+    """
     waiting_on = {}  # job key -> number of unfinished deps
     dependents = {}  # job key -> jobs waiting on it
     ready = []
     pending_keys = {job.key for job in pending}
     order_index = {job.key: i for i, job in enumerate(pending)}
+    attempts = {}  # job key -> failed attempts so far
     for job in pending:
         unfinished = [d for d in job.deps if d in pending_keys]
         waiting_on[job.key] = len(unfinished)
@@ -140,12 +197,15 @@ def _run_pool(pending, results, store, stats, workers, progress) -> None:
         in_flight = {}
         ready.reverse()  # pop() from the tail keeps graph order
 
+        def submit(job):
+            deps = [results[d] for d in job.deps]
+            future = pool.submit(execute_job, job.kind, job.params, deps)
+            in_flight[future] = job
+
         def submit_ready():
             while ready:
                 job = ready.pop()
-                deps = [results[d] for d in job.deps]
-                future = pool.submit(execute_job, job.kind, job.params, deps)
-                in_flight[future] = job
+                submit(job)
                 _notify(progress, job, "start")
 
         submit_ready()
@@ -157,9 +217,24 @@ def _run_pool(pending, results, store, stats, workers, progress) -> None:
                 try:
                     payload = future.result()
                 except Exception as exc:
+                    attempts[job.key] = attempts.get(job.key, 0) + 1
+                    stats.record_failure(job, exc, attempts[job.key])
+                    retryable = attempts[job.key] <= retries and not isinstance(
+                        exc, BrokenExecutor
+                    )
+                    if retryable:
+                        try:
+                            submit(job)
+                        except BrokenExecutor as broken:
+                            raise JobFailure(
+                                job, broken, failures=stats.failures
+                            ) from broken
+                        continue
                     for other in in_flight:
                         other.cancel()
-                    raise JobFailure(job, exc) from exc
+                    raise JobFailure(
+                        job, exc, failures=stats.failures
+                    ) from exc
                 results[job.key] = store.put(job.kind, job.key, payload)
                 stats.record(job.kind, cached=False)
                 _notify(progress, job, "done")

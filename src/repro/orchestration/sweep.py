@@ -214,13 +214,20 @@ def run_sweep(
     shard: tuple = None,
     progress=None,
     store: ArtifactStore = None,
+    retries: int = 0,
 ) -> SweepResult:
     """Plan and execute a sweep; returns cells, stats and the manifest.
 
     ``cache_dir`` enables the disk artifact store (ignored when an
     explicit ``store`` is given); ``resume=True`` reuses any artifact
     already present instead of recomputing it.  ``shard=(i, n)`` keeps
-    the i-th of n deterministic cell slices (1-based).
+    the i-th of n deterministic cell slices (1-based).  ``retries``
+    re-runs flaky jobs (see :func:`repro.orchestration.executor
+    .run_jobs`); attempts that failed but recovered land in the
+    manifest's ``jobs.failures`` log, while a job that exhausts its
+    retries aborts the sweep with :class:`~repro.orchestration.executor
+    .JobFailure` — no manifest is written, and the accumulated failure
+    log rides on the exception's ``failures`` attribute instead.
     """
     shard = _parse_shard(shard)
     plan = plan_sweep(spec)
@@ -238,7 +245,12 @@ def run_sweep(
     if store is None:
         store = ArtifactStore(cache_dir)
     results, stats = run_jobs(
-        graph, store, workers=workers, resume=resume, progress=progress
+        graph,
+        store,
+        workers=workers,
+        resume=resume,
+        progress=progress,
+        retries=retries,
     )
 
     cells = {}
@@ -262,6 +274,7 @@ def run_sweep(
         "shard": None if shard is None else {"index": shard[0], "count": shard[1]},
         "workers": workers,
         "resume": resume,
+        "retries": retries,
         "jobs": stats.to_dict(),
         "num_cells": len(cells),
     }

@@ -23,7 +23,15 @@ occupancy arrays in one vectorized pass, and all entry points accept a
 precomputed ``traces`` dict so callers that evaluate the same layout many
 times (the detailed placer) never rebuild the MST traces.  Trace-pair
 intersection tests are pruned with bounding boxes — disjoint boxes cannot
-properly intersect, so pruning is exact.
+properly intersect, so pruning is exact — and candidate pairs come from a
+sort-by-x sweep over the trace bboxes (:func:`_candidate_pairs`) instead
+of the historical all-pairs scan: traces enter the sweep in ascending
+``xlo`` order, leave the active set once their ``xhi`` falls behind the
+sweep line, and only y-overlapping active pairs survive.  The surviving
+pair set is exactly the non-disjoint-bbox set, so crossing counts are
+unchanged; the scan does O(R log R) sorting plus work proportional to
+the *x-overlapping* pairs (worst case — everything sharing one x-range —
+still O(R²), but typical legalized layouts spread traces in x).
 """
 
 from __future__ import annotations
@@ -102,6 +110,33 @@ def _bboxes_disjoint(a: tuple, b: tuple) -> bool:
     return a[2] < b[0] or b[2] < a[0] or a[3] < b[1] or b[3] < a[1]
 
 
+def _candidate_pairs(keys: list, bboxes: dict) -> list:
+    """Sorted key pairs whose trace bboxes overlap (sweep over x).
+
+    Exactly the pairs the all-pairs ``_bboxes_disjoint`` filter would
+    keep: a later trace (larger ``xlo``) x-overlaps an active one iff the
+    active ``xhi`` has not fallen behind the sweep line, and touching
+    boxes count as overlapping, matching the strict inequalities of
+    ``_bboxes_disjoint``.  Empty (``None``) bboxes never overlap.
+    """
+    events = sorted(
+        ((bboxes[key], key) for key in keys if bboxes[key] is not None),
+        key=lambda item: item[0][0],
+    )
+    active = []
+    pairs = []
+    for bbox, key in events:
+        active = [item for item in active if item[0][2] >= bbox[0]]
+        for other_bbox, other_key in active:
+            if not (bbox[3] < other_bbox[1] or other_bbox[3] < bbox[1]):
+                pairs.append(
+                    (key, other_key) if key < other_key else (other_key, key)
+                )
+        active.append((bbox, key))
+    pairs.sort()
+    return pairs
+
+
 def _bridged_blocks(
     trace: list, own_key: tuple, bins: BinGrid, samples: np.ndarray = None
 ) -> set:
@@ -139,12 +174,18 @@ def count_crossings(
     lb: float = None,
     traces: dict = None,
     samples: dict = None,
+    bboxes: dict = None,
 ) -> CrossingReport:
     """Crossing report for the whole layout.
 
     ``traces`` optionally supplies precomputed MST traces (as returned by
-    :func:`build_traces`) and ``samples`` their sampled site indices (per
-    :func:`trace_site_indices`); missing keys are computed on demand.
+    :func:`build_traces`), ``samples`` their sampled site indices (per
+    :func:`trace_site_indices`) and ``bboxes`` their bounding boxes (per
+    :func:`trace_bbox`); missing keys are computed on demand (and stored
+    into a caller-provided ``bboxes`` dict for reuse).  Candidate
+    intersection pairs come from the bbox sweep of
+    :func:`_candidate_pairs`, evaluated in sorted-pair order so the
+    report's dict iteration order matches the historical all-pairs scan.
     """
     lb = bins.grid.lb if lb is None else lb
     report = CrossingReport()
@@ -158,21 +199,22 @@ def count_crossings(
     if samples is None:
         samples = {}
     keys = sorted(traces)
-    bboxes = {key: trace_bbox(traces[key]) for key in keys}
+    if bboxes is None:
+        bboxes = {}
+    for key in keys:
+        if key not in bboxes:
+            bboxes[key] = trace_bbox(traces[key])
     per_res = {key: 0 for key in keys}
     for key in keys:
         bridged = _bridged_blocks(traces[key], key, bins, samples.get(key))
         report.bridged_blocks[key] = sorted(bridged)
         per_res[key] += len(bridged)
-    for a_pos, key_a in enumerate(keys):
-        for key_b in keys[a_pos + 1 :]:
-            if _bboxes_disjoint(bboxes[key_a], bboxes[key_b]):
-                continue
-            count = _trace_intersections(traces[key_a], traces[key_b])
-            if count:
-                report.pair_crossings[(key_a, key_b)] = count
-                per_res[key_a] += count
-                per_res[key_b] += count
+    for key_a, key_b in _candidate_pairs(keys, bboxes):
+        count = _trace_intersections(traces[key_a], traces[key_b])
+        if count:
+            report.pair_crossings[(key_a, key_b)] = count
+            per_res[key_a] += count
+            per_res[key_b] += count
     report.per_resonator = per_res
     return report
 
@@ -184,21 +226,34 @@ def resonator_crossings(
     traces: dict = None,
     samples: np.ndarray = None,
     pair_counts: dict = None,
+    bboxes: dict = None,
 ) -> int:
     """Crossings involving one resonator's trace (for DP window checks).
 
-    ``traces`` / ``samples`` reuse precomputed geometry; ``pair_counts``
-    is an optional ``{(key_a, key_b): count}`` memo (keys ordered) that
-    the caller invalidates whenever either trace changes.
+    ``traces`` / ``samples`` / ``bboxes`` reuse precomputed geometry;
+    ``pair_counts`` is an optional ``{(key_a, key_b): count}`` memo (keys
+    ordered) that the caller invalidates whenever either trace changes.
+    Bboxes are only cached into a caller-provided ``bboxes`` dict for
+    traces that came from the ``traces`` cache — on-demand traces are
+    rebuilt per call, so their boxes must be too.
     """
     lb = bins.grid.lb
     key = resonator.key
-    if traces is not None and key in traces:
-        trace = traces[key]
-    else:
-        trace = resonator_trace(netlist, resonator, lb)
+
+    def cached_geometry(res) -> tuple:
+        """``(trace, bbox)`` via the caches where possible."""
+        if traces is not None and res.key in traces:
+            res_trace = traces[res.key]
+            if bboxes is not None:
+                if res.key not in bboxes:
+                    bboxes[res.key] = trace_bbox(res_trace)
+                return res_trace, bboxes[res.key]
+        else:
+            res_trace = resonator_trace(netlist, res, lb)
+        return res_trace, trace_bbox(res_trace)
+
+    trace, bbox = cached_geometry(resonator)
     count = len(_bridged_blocks(trace, key, bins, samples))
-    bbox = trace_bbox(trace)
     for other in netlist.resonators:
         if other.key == key:
             continue
@@ -206,11 +261,8 @@ def resonator_crossings(
         if pair_counts is not None and pair in pair_counts:
             count += pair_counts[pair]
             continue
-        if traces is not None and other.key in traces:
-            other_trace = traces[other.key]
-        else:
-            other_trace = resonator_trace(netlist, other, lb)
-        if _bboxes_disjoint(bbox, trace_bbox(other_trace)):
+        other_trace, other_bbox = cached_geometry(other)
+        if _bboxes_disjoint(bbox, other_bbox):
             pair_count = 0
         else:
             pair_count = _trace_intersections(trace, other_trace)

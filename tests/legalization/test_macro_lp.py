@@ -77,7 +77,24 @@ def test_infeasible_when_macros_cannot_fit():
     sizes = {i: (3.0, 3.0) for i in range(4)}
     result = legalize_macros(list(range(4)), positions, sizes, grid)
     assert not result.feasible
-    assert result.positions == {}
+    # Contract: positions are unchanged (the input placement) on failure.
+    assert result.positions == positions
+    assert result.positions is not positions  # a defensive copy
+
+
+def test_tight_border_tie_is_not_spuriously_infeasible():
+    """Regression: snap rounding can tie two centres exactly (half-even
+    rounding on an arc with a one-site separation).  The historical
+    forward/backward repair re-oriented the arc along the tied order and
+    reported infeasibility; the bound-respecting sweep must keep the arc
+    direction and succeed."""
+    grid = SiteGrid(8, 8)
+    # Arc 1 -> 0 (qubit 1 left of qubit 0), separation exactly one site.
+    positions = {0: (3.0, 4.5), 1: (2.0, 4.5)}
+    sizes = {0: (1.0, 1.0), 1: (1.0, 1.0)}
+    result = legalize_macros([0, 1], positions, sizes, grid)
+    _check_legal(result, [0, 1], sizes, grid, 0.0)
+    assert result.positions[0][0] - result.positions[1][0] >= 1.0 - 1e-9
 
 
 def test_empty_input():

@@ -1,0 +1,116 @@
+"""Parity: the array Prim in ``mst_segments`` equals the scalar reference.
+
+The reference below is a faithful transcription of the original
+``_closest_pair`` / ``mst_segments`` double loops.  The vectorized Prim
+must return the *same segment list* — same tree growth order, same
+tie-breaks (first minimum in tree-insertion × candidate order, first
+minimal point pair in row-major order), same endpoint tuples — because
+both the crossing counter and the Eq. 4 hotspot walk consume these
+segments directly and the flow output is held bit-identical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
+from repro.netlist.traces import mst_segments, resonator_trace
+
+
+def reference_closest_pair(points_a, points_b):
+    """The original scalar ``_closest_pair``, verbatim."""
+    best = None
+    for pa in points_a:
+        for pb in points_b:
+            d2 = (pa[0] - pb[0]) ** 2 + (pa[1] - pb[1]) ** 2
+            if best is None or d2 < best[0]:
+                best = (d2, pa, pb)
+    return best
+
+
+def reference_mst_segments(terminal_sets):
+    """The original scalar Prim, verbatim."""
+    if len(terminal_sets) < 2:
+        return []
+    in_tree = [0]
+    out = list(range(1, len(terminal_sets)))
+    segments = []
+    while out:
+        best = None
+        for i in in_tree:
+            for j in out:
+                d2, pa, pb = reference_closest_pair(
+                    terminal_sets[i], terminal_sets[j]
+                )
+                if best is None or d2 < best[0]:
+                    best = (d2, pa, pb, j)
+        _, pa, pb, j = best
+        segments.append((pa, pb))
+        in_tree.append(j)
+        out.remove(j)
+    return segments
+
+
+# A small coordinate alphabet forces plenty of exact distance ties
+# (duplicate points, collinear sets, symmetric gaps) so the tie-break
+# replication is actually exercised, not just the generic path.
+tied_coord = st.sampled_from([0.0, 1.0, 2.0, 2.5, 4.0, 7.25])
+free_coord = st.floats(-5.0, 15.0, allow_nan=False, allow_infinity=False)
+point = st.tuples(
+    st.one_of(tied_coord, free_coord), st.one_of(tied_coord, free_coord)
+)
+terminal_set = st.lists(point, min_size=1, max_size=6)
+terminal_sets = st.lists(terminal_set, min_size=0, max_size=6)
+
+
+@settings(max_examples=200, deadline=None)
+@given(sets=terminal_sets)
+def test_mst_segments_match_reference_exactly(sets):
+    got = mst_segments(sets)
+    want = reference_mst_segments(sets)
+    assert got == want
+
+
+def test_degenerate_inputs():
+    assert mst_segments([]) == []
+    assert mst_segments([[(1.0, 2.0)]]) == []  # single terminal set
+    # Collinear duplicated sets: every cross distance ties.
+    collinear = [[(0.0, 0.0), (1.0, 0.0)], [(2.0, 0.0)], [(1.0, 0.0)]]
+    assert mst_segments(collinear) == reference_mst_segments(collinear)
+
+
+def test_segment_endpoints_are_the_original_tuples():
+    sets = [[(0.0, 0.0), (4.0, 0.0)], [(5.0, 0.0), (20.0, 0.0)]]
+    ((pa, pb),) = mst_segments(sets)
+    assert pa is sets[0][1] and pb is sets[1][0]
+
+
+site = st.tuples(st.integers(0, 19), st.integers(0, 11))
+
+
+@settings(max_examples=60, deadline=None)
+@given(sites=st.sets(site, min_size=0, max_size=12))
+def test_resonator_trace_matches_reference_pipeline(sites):
+    nl = QuantumNetlist()
+    nl.add_qubit(Qubit(index=0, w=3, h=3, x=1.5, y=1.5))
+    nl.add_qubit(Qubit(index=1, w=3, h=3, x=17.5, y=1.5))
+    r = nl.add_resonator(
+        Resonator(qi=0, qj=1, wirelength=max(1.0, float(len(sites))))
+    )
+    r.blocks = [
+        WireBlock(resonator_key=r.key, ordinal=k, x=c + 0.5, y=w + 0.5)
+        for k, (c, w) in enumerate(sorted(sites))
+    ]
+
+    from repro.netlist.clusters import block_clusters
+    from repro.netlist.traces import qubit_boundary
+
+    terminal_sets = [
+        qubit_boundary(nl.qubit(0)),
+        qubit_boundary(nl.qubit(1)),
+    ]
+    for cluster in block_clusters(r, 1.0):
+        terminal_sets.append([(b.x, b.y) for b in cluster])
+
+    assert resonator_trace(nl, r, 1.0) == reference_mst_segments(
+        terminal_sets
+    )

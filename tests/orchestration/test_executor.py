@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.orchestration.executor as executor_module
 from repro.core.config import QGDPConfig
 from repro.orchestration import (
     ArtifactStore,
@@ -11,6 +12,7 @@ from repro.orchestration import (
     config_to_dict,
     run_jobs,
 )
+from repro.orchestration.stages import execute_job as real_execute_job
 
 _CFG = config_to_dict(QGDPConfig(gp_iterations=40))
 
@@ -103,6 +105,96 @@ def test_failing_job_raises_jobfailure():
     )
     with pytest.raises(JobFailure):
         run_jobs(graph, ArtifactStore(), workers=1)
+
+
+def _bad_job_graph():
+    graph = JobGraph()
+    graph.add(
+        Job.create(
+            "transpile",
+            {"topology": "grid", "benchmark": "no-such-99", "seed": 1},
+        )
+    )
+    return graph
+
+
+def test_retries_recover_flaky_jobs(monkeypatch):
+    graph = _small_graph()
+    state = {"gp_failures": 0}
+
+    def flaky(kind, params, deps):
+        if kind == "gp" and state["gp_failures"] < 2:
+            state["gp_failures"] += 1
+            raise RuntimeError("flaky worker")
+        return real_execute_job(kind, params, deps)
+
+    monkeypatch.setattr(executor_module, "execute_job", flaky)
+    results, stats = run_jobs(graph, ArtifactStore(), workers=1, retries=2)
+
+    assert stats.computed == len(graph)
+    assert len(results) == len(graph)
+    # Both flaky attempts are in the manifest failure log.
+    assert [f["attempt"] for f in stats.failures] == [1, 2]
+    for entry in stats.failures:
+        assert entry["kind"] == "gp"
+        assert entry["error_type"] == "RuntimeError"
+        assert entry["error"] == "flaky worker"
+        assert "flaky worker" in entry["traceback"]
+        assert entry["key"]
+    assert stats.to_dict()["failures"] == stats.failures
+
+
+def test_exhausted_retries_raise_with_failure_log():
+    with pytest.raises(JobFailure) as info:
+        run_jobs(_bad_job_graph(), ArtifactStore(), workers=1, retries=1)
+    failures = info.value.failures
+    assert [f["attempt"] for f in failures] == [1, 2]
+    assert all(f["kind"] == "transpile" for f in failures)
+    assert all(f["key"] == info.value.job.key for f in failures)
+
+
+def test_negative_retries_rejected():
+    # A negative count would skip execution entirely and store a stale
+    # payload; it must be rejected up front.
+    with pytest.raises(ValueError):
+        run_jobs(_small_graph(), ArtifactStore(), workers=1, retries=-1)
+
+
+def test_pool_exhausted_retries_raise_with_failure_log():
+    with pytest.raises(JobFailure) as info:
+        run_jobs(_bad_job_graph(), ArtifactStore(), workers=2, retries=1)
+    assert [f["attempt"] for f in info.value.failures] == [1, 2]
+
+
+def test_broken_pool_aborts_with_jobfailure(monkeypatch):
+    """A worker dying abruptly breaks the pool: the run must abort with
+    JobFailure (carrying the failure log), not resubmit into the broken
+    pool and leak a raw BrokenExecutor."""
+    from concurrent.futures import Future
+    from concurrent.futures.process import BrokenProcessPool
+
+    class FakeBrokenPool:
+        def __init__(self, max_workers):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc_info):
+            return False
+
+        def submit(self, fn, *args):
+            future = Future()
+            future.set_exception(BrokenProcessPool("worker died abruptly"))
+            return future
+
+    monkeypatch.setattr(
+        executor_module, "ProcessPoolExecutor", FakeBrokenPool
+    )
+    with pytest.raises(JobFailure) as info:
+        run_jobs(_bad_job_graph(), ArtifactStore(), workers=2, retries=3)
+    assert info.value.failures
+    assert info.value.failures[0]["error_type"] == "BrokenProcessPool"
 
 
 def test_progress_events_cover_every_job():

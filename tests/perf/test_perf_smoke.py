@@ -1,11 +1,12 @@
-"""Perf smoke guard: the qGDP hot path must stay interactive.
+"""Perf smoke guards: the qGDP hot paths must stay interactive.
 
 One small end-to-end flow (place → legalize → detailed-place on a 5×5
-qubit grid) with a *generous* wall-clock budget — an order of magnitude
-above the array-backed implementation's typical time, but far below the
-seed's pure-Python time, so only a genuine hot-path regression trips it.
-Part of the tier-1 run; select just this guard with ``pytest -m
-perf_smoke``.
+qubit grid) plus an analysis-kernel guard (legalize + MST trace build +
+crossing count on a 12×12 grid), each with a *generous* wall-clock
+budget — an order of magnitude above the vectorized implementations'
+typical time, but far below a pure-Python regression, so only a genuine
+hot-path regression trips them.  Part of the tier-1 run; select just
+these guards with ``pytest -m perf_smoke``.
 """
 
 from __future__ import annotations
@@ -19,11 +20,18 @@ from repro.detailed import DetailedPlacer
 from repro.legalization import get_engine, run_legalization
 from repro.metrics import check_legality, integration_ratio
 from repro.placement import GlobalPlacer, build_layout
+from repro.routing.crossings import build_traces, count_crossings
 from repro.topologies import grid_topology
 
 #: Budget for legalization + detailed placement on a 5x5 grid, seconds.
 #: Typical: ~0.07 s array-backed; ~1.1 s for the pre-array seed code.
 SMOKE_BUDGET_S = 10.0
+
+#: Budget for legalize + trace build + crossing count on a 12x12 grid,
+#: seconds.  Typical: ~0.09 s with the vectorized kernels (~0.16 s for
+#: their scalar predecessors); the generous ceiling only trips on a
+#: complexity-class regression in one of the three analysis kernels.
+KERNEL_BUDGET_S = 5.0
 
 
 @pytest.mark.perf_smoke
@@ -43,4 +51,24 @@ def test_flow_5x5_within_budget():
     assert elapsed < SMOKE_BUDGET_S, (
         f"legalize+detailed took {elapsed:.2f}s on a 5x5 grid "
         f"(budget {SMOKE_BUDGET_S}s) — hot-path regression?"
+    )
+
+
+@pytest.mark.perf_smoke
+def test_analysis_kernels_12x12_within_budget():
+    cfg = QGDPConfig()
+    netlist, grid = build_layout(grid_topology(12), cfg)
+    GlobalPlacer(cfg).run(netlist, grid, seed=cfg.seed)
+
+    t0 = time.perf_counter()
+    outcome = run_legalization(netlist, grid, get_engine("qgdp"), cfg)
+    traces = build_traces(netlist, cfg.lb)
+    report = count_crossings(netlist, outcome.bins, traces=traces)
+    elapsed = time.perf_counter() - t0
+
+    assert check_legality(netlist, grid) == []
+    assert report.total >= 0 and len(report.per_resonator) > 0
+    assert elapsed < KERNEL_BUDGET_S, (
+        f"legalize+traces+crossings took {elapsed:.2f}s on a 12x12 grid "
+        f"(budget {KERNEL_BUDGET_S}s) — analysis-kernel regression?"
     )

@@ -36,6 +36,7 @@ from repro.evaluation import (
     format_fig9,
     format_table2,
     format_table3,
+    run_engine_evaluations,
 )
 from repro.legalization import ENGINES, PAPER_ENGINE_ORDER, get_engine
 from repro.metrics import layout_metrics
@@ -65,6 +66,7 @@ __all__ = [
     "format_fig9",
     "format_table2",
     "format_table3",
+    "run_engine_evaluations",
     "ENGINES",
     "PAPER_ENGINE_ORDER",
     "get_engine",

@@ -7,14 +7,22 @@ Examples::
     python -m repro flow all --no-dp
     python -m repro fidelity aspen11 --benchmarks bv-4 qaoa-4 --seeds 10
     python -m repro tables --which fig9
+    python -m repro tables --topologies grid aspen11 --workers 4
     python -m repro sweep --topologies grid falcon --seeds 10 --workers 4
     python -m repro sweep --topologies grid falcon --seeds 10 --resume
+    python -m repro diff .repro_cache/runs/<run_a> .repro_cache/runs/<run_b>
+
+``tables`` assembles Fig. 9 / Tables II–III from the same content-addressed
+artifact cache sweeps use (see ``docs/tables.md``): the table text goes to
+stdout, job-counter diagnostics to stderr, and — when the cache is enabled
+— a diffable run manifest to ``<cache>/runs/<run_id>-tables/``.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import sys
 
 from repro.circuits import PAPER_BENCHMARKS
 from repro.core.config import QGDPConfig
@@ -22,16 +30,22 @@ from repro.core.pipeline import run_flow
 from repro.evaluation import (
     EvaluationConfig,
     cells_from_sweep,
-    evaluate_engines,
     evaluate_fidelity,
     format_fig8,
     format_fig9,
     format_table2,
     format_table3,
+    run_engine_evaluations,
     sweep_spec,
 )
 from repro.legalization import PAPER_ENGINE_ORDER
-from repro.orchestration import RunSink, run_sweep
+from repro.orchestration import (
+    RunSink,
+    diff_runs,
+    format_diff,
+    load_run,
+    run_sweep,
+)
 from repro.topologies import PAPER_TOPOLOGIES, available_topologies, get_topology
 from repro.visualization import render_layout, save_layout_json
 
@@ -105,19 +119,56 @@ def _cmd_fidelity(args) -> int:
 
 def _cmd_tables(args) -> int:
     eval_config = EvaluationConfig(config=QGDPConfig(seed=args.seed))
-    evaluations = {
-        name: evaluate_engines(
-            name, PAPER_ENGINE_ORDER, eval_config, with_dp_for=("qgdp",)
-        )
-        for name in args.topologies
-    }
+    cache_dir = None if args.no_cache else args.cache_dir
+    result = run_engine_evaluations(
+        args.topologies,
+        PAPER_ENGINE_ORDER,
+        eval_config,
+        with_dp_for=("qgdp",),
+        cache_dir=cache_dir,
+        workers=args.workers,
+        resume=args.resume and cache_dir is not None,
+        retries=args.retries,
+        timeout_s=args.timeout_s,
+    )
+    evaluations = result.evaluations
+    # The deliverable (the tables) goes to stdout; run diagnostics go to
+    # stderr so regenerated output is byte-comparable across cache states.
     if args.which in ("fig9", "all"):
         print(format_fig9(evaluations, args.topologies, PAPER_ENGINE_ORDER))
     if args.which in ("table2", "all"):
         print(format_table2(evaluations, args.topologies, PAPER_ENGINE_ORDER))
     if args.which in ("table3", "all"):
         print(format_table3(evaluations, args.topologies))
+
+    stats = result.stats
+    out_dir = args.out
+    if out_dir is None and cache_dir is not None:
+        out_dir = os.path.join(cache_dir, "runs", result.manifest["run_id"])
+    if out_dir is not None:
+        sink = RunSink(out_dir)
+        sink.write_results(result.rows)
+        sink.write_manifest(result.manifest)
+        print(f"manifest: {sink.manifest_path}", file=sys.stderr)
+    print(
+        f"tables {result.manifest['run_id']}: {stats.computed} jobs "
+        f"computed, {stats.cached} cached, {stats.wall_s:.1f}s",
+        file=sys.stderr,
+    )
     return 0
+
+
+def _cmd_diff(args) -> int:
+    try:
+        run_a = load_run(args.run_a)
+        run_b = load_run(args.run_b)
+    except ValueError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_runs(run_a, run_b)
+    print(format_diff(diff))
+    # diff(1) semantics: 0 = identical, 1 = differences found.
+    return 0 if diff.is_empty else 1
 
 
 def _parse_shard(text: str) -> tuple:
@@ -167,6 +218,7 @@ def _cmd_sweep(args) -> int:
         shard=args.shard,
         progress=progress,
         retries=args.retries,
+        timeout_s=args.timeout_s,
     )
 
     if args.out:
@@ -224,7 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
     fid.add_argument("--seeds", type=int, default=10)
     fid.add_argument("--seed", type=int, default=QGDPConfig().seed)
 
-    tables = sub.add_parser("tables", help="regenerate Fig. 9 / Tables II-III")
+    tables = sub.add_parser(
+        "tables",
+        help="regenerate Fig. 9 / Tables II-III from the artifact cache",
+    )
     tables.add_argument(
         "--which", default="all", choices=["fig9", "table2", "table3", "all"]
     )
@@ -232,6 +287,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--topologies", nargs="+", default=list(PAPER_TOPOLOGIES)
     )
     tables.add_argument("--seed", type=int, default=QGDPConfig().seed)
+    tables.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; tables graphs are small)",
+    )
+    tables.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached stage artifacts (--no-resume recomputes all)",
+    )
+    tables.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per flaky job before aborting",
+    )
+    tables.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="wall-clock budget per job attempt (default: unbounded)",
+    )
+    tables.add_argument("--cache-dir", default=".repro_cache")
+    tables.add_argument(
+        "--no-cache", action="store_true", help="keep artifacts in memory only"
+    )
+    tables.add_argument(
+        "--out",
+        default=None,
+        help="run output directory (default: <cache>/runs/<run_id>-tables; "
+        "set to keep multiple same-spec runs for repro diff)",
+    )
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two run manifests: jobs added/removed/recomputed, "
+        "changed cells",
+    )
+    diff.add_argument(
+        "run_a", help="baseline run directory or manifest.json path"
+    )
+    diff.add_argument("run_b", help="comparison run directory or manifest.json")
 
     sweep = sub.add_parser(
         "sweep",
@@ -270,6 +369,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts per flaky job before the sweep aborts",
     )
     sweep.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="wall-clock budget per job attempt (default: unbounded)",
+    )
+    sweep.add_argument(
         "--shard",
         type=_parse_shard,
         default=None,
@@ -295,6 +400,7 @@ _HANDLERS = {
     "fidelity": _cmd_fidelity,
     "tables": _cmd_tables,
     "sweep": _cmd_sweep,
+    "diff": _cmd_diff,
 }
 
 

@@ -5,7 +5,10 @@ from repro.evaluation.harness import (
     evaluate_fidelity,
     evaluate_engines,
     cells_from_sweep,
+    plan_engine_evaluations,
+    run_engine_evaluations,
     sweep_spec,
+    EngineSweepResult,
     FidelityCell,
     EngineEvaluation,
 )
@@ -21,7 +24,10 @@ __all__ = [
     "evaluate_fidelity",
     "evaluate_engines",
     "cells_from_sweep",
+    "plan_engine_evaluations",
+    "run_engine_evaluations",
     "sweep_spec",
+    "EngineSweepResult",
     "FidelityCell",
     "EngineEvaluation",
     "format_fig8",

@@ -3,14 +3,28 @@
 The subsystem decomposes a sweep into content-addressed stage jobs
 (:mod:`~repro.orchestration.jobs`), persists stage outputs in a disk
 artifact store (:mod:`~repro.orchestration.store`), executes the job DAG
-serially or across worker processes (:mod:`~repro.orchestration.executor`),
-and writes JSONL results plus a run manifest
-(:mod:`~repro.orchestration.sink`).  :mod:`~repro.orchestration.sweep`
-ties it together behind :func:`run_sweep`; the evaluation harness and the
-``repro sweep`` CLI are thin clients.  See ``docs/orchestration.md``.
+serially or across worker processes with retries and per-attempt
+timeouts (:mod:`~repro.orchestration.executor`), writes JSONL results
+plus a run manifest (:mod:`~repro.orchestration.sink`), and diffs run
+manifests for incremental-sweep workflows
+(:mod:`~repro.orchestration.diff`).  :mod:`~repro.orchestration.sweep`
+ties it together behind :func:`run_sweep`; the evaluation harness and
+the ``repro sweep`` / ``repro tables`` / ``repro diff`` CLI are thin
+clients.  See ``docs/orchestration.md`` and ``docs/tables.md``.
 """
 
-from repro.orchestration.executor import JobFailure, RunStats, run_jobs
+from repro.orchestration.diff import (
+    RunDiff,
+    diff_runs,
+    format_diff,
+    load_run,
+)
+from repro.orchestration.executor import (
+    JobFailure,
+    JobTimeout,
+    RunStats,
+    run_jobs,
+)
 from repro.orchestration.jobs import Job, JobGraph, job_key
 from repro.orchestration.sink import RunSink, read_jsonl
 from repro.orchestration.stages import (
@@ -34,6 +48,8 @@ __all__ = [
     "Job",
     "JobFailure",
     "JobGraph",
+    "JobTimeout",
+    "RunDiff",
     "RunSink",
     "RunStats",
     "SweepPlan",
@@ -41,8 +57,11 @@ __all__ = [
     "SweepSpec",
     "config_from_dict",
     "config_to_dict",
+    "diff_runs",
     "execute_job",
+    "format_diff",
     "job_key",
+    "load_run",
     "noise_from_dict",
     "noise_to_dict",
     "plan_sweep",

@@ -13,10 +13,17 @@ Cache interaction: with ``resume=True``, jobs whose payload already
 exists in the artifact store are not executed at all; they are counted
 as *cached* in the returned :class:`RunStats` (the run-manifest counters
 the resume acceptance test checks).
+
+Wall-clock control: ``timeout_s`` bounds each job *attempt*.  The job is
+executed in a forked child process the parent can actually terminate, so
+a hung solver or runaway stage cannot wedge a sweep; a timed-out attempt
+raises :class:`JobTimeout` and flows through the same retry / failure-log
+plumbing as any other job exception.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 import traceback
 from concurrent.futures import (
@@ -36,6 +43,12 @@ from repro.orchestration.store import ArtifactStore
 class RunStats:
     """What an executor run did: per-kind computed vs. cache-hit counts.
 
+    ``entries`` is the per-job ledger written into the run manifest: one
+    JSON-safe row per finished job (key, kind, the identifying params and
+    whether it was computed or a cache hit).  ``repro diff`` compares two
+    manifests through these rows to report added / removed / recomputed
+    jobs between runs.
+
     ``failures`` is the run-manifest failure log: one JSON-safe entry per
     failed *attempt* (job key, kind, exception type, traceback string and
     the 1-based attempt number), so a retried-then-recovered flaky job
@@ -49,28 +62,44 @@ class RunStats:
     wall_s: float = 0.0
     by_kind: dict = field(default_factory=dict)
     failures: list = field(default_factory=list)
+    entries: list = field(default_factory=list)
 
-    def record(self, kind: str, cached: bool) -> None:
-        """Count one finished job."""
-        slot = self.by_kind.setdefault(kind, {"computed": 0, "cached": 0})
+    def record(self, job, cached: bool) -> None:
+        """Count one finished job and append its manifest ledger row."""
+        slot = self.by_kind.setdefault(job.kind, {"computed": 0, "cached": 0})
         if cached:
             self.cached += 1
             slot["cached"] += 1
         else:
             self.computed += 1
             slot["computed"] += 1
+        self.entries.append(
+            {
+                "key": job.key,
+                "kind": job.kind,
+                "topology": job.params.get("topology"),
+                "engine": job.params.get("engine"),
+                "benchmark": job.params.get("benchmark"),
+                "seed": job.params.get("seed"),
+                "status": "cached" if cached else "computed",
+            }
+        )
 
     def record_failure(self, job, exc: BaseException, attempt: int) -> dict:
         """Log one failed attempt; returns the failure-log entry."""
+        # A timeout-wrapped job's exception crossed a process boundary,
+        # where tracebacks don't pickle; the child formatted its own and
+        # attached it so the log still points at the failing stage frame.
+        formatted = getattr(exc, "remote_traceback", None) or "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
         entry = {
             "key": job.key,
             "kind": job.kind,
             "topology": job.params.get("topology"),
             "error_type": type(exc).__name__,
             "error": str(exc),
-            "traceback": "".join(
-                traceback.format_exception(type(exc), exc, exc.__traceback__)
-            ),
+            "traceback": formatted,
             "attempt": attempt,
         }
         self.failures.append(entry)
@@ -85,11 +114,29 @@ class RunStats:
             "wall_s": self.wall_s,
             "by_kind": self.by_kind,
             "failures": self.failures,
+            "entries": self.entries,
         }
 
 
 class JobFailure(RuntimeError):
-    """A job raised on every attempt; carries identity + failure log."""
+    """A job failed on every allowed attempt and the run was aborted.
+
+    Raised by :func:`run_jobs` (and therefore by
+    :func:`~repro.orchestration.sweep.run_sweep` and the CLI commands
+    built on it) once a job has exhausted ``retries`` extra attempts.
+    Attributes:
+
+    * ``job`` — the failing :class:`~repro.orchestration.jobs.Job`
+      (kind, content key, params), so the failure is attributable without
+      parsing the message;
+    * ``failures`` — the run's accumulated failure log, one JSON-safe
+      entry per failed attempt (the same rows a successful run would have
+      written to the manifest's ``jobs.failures``; no manifest is written
+      on an aborted run, so the log rides on the exception instead).
+
+    Timed-out attempts (see ``timeout_s``) appear in the log with
+    ``error_type: "JobTimeout"``.
+    """
 
     def __init__(self, job, cause, failures: list = None) -> None:
         super().__init__(
@@ -98,6 +145,84 @@ class JobFailure(RuntimeError):
         )
         self.job = job
         self.failures = list(failures or [])
+
+
+class JobTimeout(RuntimeError):
+    """One job attempt exceeded the run's ``timeout_s`` wall-clock budget."""
+
+
+def _child_execute(conn, kind: str, params: dict, deps: list) -> None:
+    """Child-process entry point for timeout-bounded execution.
+
+    Sends ``("ok", payload)`` or ``("error", exception, traceback_str)``
+    over the pipe — tracebacks don't pickle, so the child formats its own
+    and the parent re-attaches it for the failure log.  Runs the
+    module-global ``execute_job`` so test monkeypatching (with the
+    default fork start method) behaves exactly like the serial path.
+    """
+    try:
+        payload = execute_job(kind, params, deps)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        formatted = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        try:
+            conn.send(("error", exc, formatted))
+        except Exception:
+            # Unpicklable exception: forward type + message instead.
+            conn.send(
+                (
+                    "error",
+                    RuntimeError(f"{type(exc).__name__}: {exc}"),
+                    formatted,
+                )
+            )
+    else:
+        conn.send(("ok", payload))
+    finally:
+        conn.close()
+
+
+def execute_job_with_timeout(
+    kind: str, params: dict, deps: list, timeout_s: float
+) -> dict:
+    """Run one job in a child process, killing it after ``timeout_s``.
+
+    ``ProcessPoolExecutor`` cannot interrupt a running task, so the only
+    honest wall-clock bound is a dedicated child process the caller owns:
+    the job runs in a fork, the parent waits on a pipe with a deadline,
+    and on expiry the child is terminated and :class:`JobTimeout` raised.
+    Job exceptions are forwarded with their original type so the failure
+    log stays as attributable as the in-process path.  Runners are pure
+    and payloads canonicalized, so the extra process hop cannot change
+    results — only enforce the deadline.
+    """
+    ctx = multiprocessing.get_context()
+    recv, send = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_child_execute, args=(send, kind, params, deps))
+    proc.start()
+    send.close()
+    try:
+        if not recv.poll(timeout_s):
+            raise JobTimeout(
+                f"{kind} job exceeded --timeout-s {timeout_s:g}s wall clock"
+            )
+        try:
+            message = recv.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"{kind} job process died without a result"
+            ) from None
+    finally:
+        if proc.is_alive():
+            proc.terminate()
+        proc.join()
+        recv.close()
+    if message[0] == "ok":
+        return message[1]
+    _status, exc, formatted = message
+    exc.remote_traceback = formatted
+    raise exc
 
 
 def _notify(progress, job, status) -> None:
@@ -112,6 +237,7 @@ def run_jobs(
     resume: bool = False,
     progress=None,
     retries: int = 0,
+    timeout_s: float = None,
 ) -> tuple:
     """Execute a job graph; returns ``(results, stats)``.
 
@@ -122,10 +248,15 @@ def run_jobs(
     "done"}``.  ``retries`` re-runs a failing job up to that many extra
     times before raising :class:`JobFailure`; every failed attempt is
     logged in ``stats.failures`` (and on the raised exception), so one
-    flaky worker no longer kills a sweep silently.
+    flaky worker no longer kills a sweep silently.  ``timeout_s`` bounds
+    each job *attempt*'s wall clock (``None`` = unbounded): the job runs
+    in a terminatable child process and an expired attempt raises
+    :class:`JobTimeout`, which counts as a failed attempt for ``retries``.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
     t0 = time.perf_counter()
     stats = RunStats(total=len(graph))
     results = {}
@@ -135,7 +266,7 @@ def run_jobs(
         payload = store.get(job.kind, job.key) if resume else None
         if payload is not None:
             results[job.key] = payload
-            stats.record(job.kind, cached=True)
+            stats.record(job, cached=True)
             _notify(progress, job, "cached")
         else:
             pending.append(job)
@@ -146,7 +277,12 @@ def run_jobs(
             deps = [results[d] for d in job.deps]
             for attempt in range(1, retries + 2):
                 try:
-                    payload = execute_job(job.kind, job.params, deps)
+                    if timeout_s is None:
+                        payload = execute_job(job.kind, job.params, deps)
+                    else:
+                        payload = execute_job_with_timeout(
+                            job.kind, job.params, deps, timeout_s
+                        )
                     break
                 except Exception as exc:
                     stats.record_failure(job, exc, attempt)
@@ -155,18 +291,26 @@ def run_jobs(
                             job, exc, failures=stats.failures
                         ) from exc
             results[job.key] = store.put(job.kind, job.key, payload)
-            stats.record(job.kind, cached=False)
+            stats.record(job, cached=False)
             _notify(progress, job, "done")
     else:
-        _run_pool(pending, results, store, stats, workers, progress, retries)
+        _run_pool(
+            pending, results, store, stats, workers, progress, retries,
+            timeout_s,
+        )
 
     stats.wall_s = time.perf_counter() - t0
+    # Pool completion order is scheduling-dependent; the manifest ledger
+    # must not be, so entries are normalized to graph order.
+    order = {job.key: index for index, job in enumerate(graph.ordered())}
+    stats.entries.sort(key=lambda entry: order[entry["key"]])
     ordered = {job.key: results[job.key] for job in graph.ordered()}
     return ordered, stats
 
 
 def _run_pool(
-    pending, results, store, stats, workers, progress, retries=0
+    pending, results, store, stats, workers, progress, retries=0,
+    timeout_s=None,
 ) -> None:
     """Fan pending jobs out to a process pool, honoring dependencies.
 
@@ -178,6 +322,12 @@ def _run_pool(
     further submissions — that aborts immediately with
     :class:`JobFailure` (carrying the failure log) rather than leaking a
     raw pool exception from the resubmission.
+
+    With ``timeout_s`` set, each pool worker runs the job through
+    :func:`execute_job_with_timeout` — the deadline is enforced inside
+    the worker (pool workers are non-daemonic and may fork), and a
+    :class:`JobTimeout` propagates through the future like any other job
+    exception, so retries and the failure log behave identically.
     """
     waiting_on = {}  # job key -> number of unfinished deps
     dependents = {}  # job key -> jobs waiting on it
@@ -199,7 +349,16 @@ def _run_pool(
 
         def submit(job):
             deps = [results[d] for d in job.deps]
-            future = pool.submit(execute_job, job.kind, job.params, deps)
+            if timeout_s is None:
+                future = pool.submit(execute_job, job.kind, job.params, deps)
+            else:
+                future = pool.submit(
+                    execute_job_with_timeout,
+                    job.kind,
+                    job.params,
+                    deps,
+                    timeout_s,
+                )
             in_flight[future] = job
 
         def submit_ready():
@@ -236,7 +395,7 @@ def _run_pool(
                         job, exc, failures=stats.failures
                     ) from exc
                 results[job.key] = store.put(job.kind, job.key, payload)
-                stats.record(job.kind, cached=False)
+                stats.record(job, cached=False)
                 _notify(progress, job, "done")
                 for child in dependents.get(job.key, ()):
                     waiting_on[child.key] -= 1

@@ -2,7 +2,8 @@
 
 A sweep decomposes into small *jobs* — ``gp`` (global placement), ``lg``
 (legalization), ``dp`` (detailed placement), ``transpile``, ``analyze``
-(layout-level crosstalk analysis) and ``fidelity`` — wired into a
+(layout-level crosstalk analysis), ``fidelity`` and ``metrics`` (the
+Fig. 9 / Table II–III layout-quality report) — wired into a
 dependency DAG.  Every job is identified by a
 stable SHA-256 over its kind, its code-relevant parameters and the keys
 of its dependencies (a Merkle chain: a parameter change upstream changes
@@ -18,7 +19,7 @@ import json
 from dataclasses import dataclass, field
 
 #: The stage kinds a sweep decomposes into.
-JOB_KINDS = ("gp", "lg", "dp", "transpile", "analyze", "fidelity")
+JOB_KINDS = ("gp", "lg", "dp", "transpile", "analyze", "fidelity", "metrics")
 
 
 def canonical_json(obj) -> str:

@@ -253,7 +253,7 @@ def run_lg_job(params: dict, deps: list) -> dict:
     outcome = run_legalization(
         netlist, grid, get_engine(params["engine"]), config
     )
-    payload = {
+    return {
         "positions": encode_snapshot(netlist.snapshot()),
         "qubit_time_s": outcome.qubit_time_s,
         "resonator_time_s": outcome.resonator_time_s,
@@ -261,11 +261,6 @@ def run_lg_job(params: dict, deps: list) -> dict:
         "qubit_spacing_used": outcome.qubit_spacing_used,
         "qubit_attempts": outcome.qubit_attempts,
     }
-    if params.get("metrics"):
-        payload["metrics"] = asdict(
-            layout_metrics(netlist, outcome.bins, config)
-        )
-    return payload
 
 
 def run_dp_job(params: dict, deps: list) -> dict:
@@ -275,9 +270,8 @@ def run_dp_job(params: dict, deps: list) -> dict:
     LG snapshot: the detailed placer consumes the legalizer's live
     occupancy index, and re-running the (deterministic) legalizer is the
     bit-exact way to reproduce it.  Because the legalization outcome is
-    in hand anyway, the payload carries the LG timing fields (and, with
-    ``metrics``, the pre-DP ``lg_metrics``) so clients needing both
-    stages schedule one job, not two legalization replays.
+    in hand anyway, the payload carries the LG timing fields alongside
+    the DP results.
     """
     netlist, grid, config = _restored_layout(params, deps[0])
     outcome = run_legalization(
@@ -290,10 +284,6 @@ def run_dp_job(params: dict, deps: list) -> dict:
         "qubit_spacing_used": outcome.qubit_spacing_used,
         "qubit_attempts": outcome.qubit_attempts,
     }
-    if params.get("metrics"):
-        payload["lg_metrics"] = asdict(
-            layout_metrics(netlist, outcome.bins, config)
-        )
     t0 = time.perf_counter()
     summary = DetailedPlacer(config).run(netlist, outcome.bins)
     payload.update(
@@ -305,10 +295,6 @@ def run_dp_job(params: dict, deps: list) -> dict:
             "reverted": summary.reverted,
         }
     )
-    if params.get("metrics"):
-        payload["metrics"] = asdict(
-            layout_metrics(netlist, outcome.bins, config)
-        )
     return payload
 
 
@@ -364,6 +350,37 @@ def run_fidelity_job(params: dict, deps: list) -> dict:
     return {"samples": samples}
 
 
+def run_metrics_job(params: dict, deps: list) -> dict:
+    """Layout-quality report of one (topology, engine): Fig. 9 / Tables II–III.
+
+    ``deps[0]`` is the engine's ``lg`` payload; for engines that also run
+    detailed placement (the paper's qGDP-DP), ``deps[1]`` is the ``dp``
+    payload.  The :class:`~repro.metrics.report.LayoutMetrics` sets are
+    recomputed from the restored snapshots — occupancy rebuilt exactly
+    like the ``analyze`` job, so the numbers are bit-identical to an
+    in-process :func:`~repro.metrics.report.layout_metrics` call on the
+    live layout — while the wall-clock timings (Table II's tq/te) ride
+    through from the upstream payloads.  A warm cache therefore replays
+    the exact timing values the stage measured when it actually ran,
+    which is what makes regenerated tables byte-stable across reruns.
+    """
+    netlist, grid, config = _restored_layout(params, deps[0])
+    payload = {
+        "metrics": asdict(
+            layout_metrics(netlist, rebuild_occupancy(netlist, grid), config)
+        ),
+        "qubit_time_s": deps[0]["qubit_time_s"],
+        "resonator_time_s": deps[0]["resonator_time_s"],
+    }
+    if len(deps) > 1:
+        netlist, grid, config = _restored_layout(params, deps[1])
+        payload["dp_metrics"] = asdict(
+            layout_metrics(netlist, rebuild_occupancy(netlist, grid), config)
+        )
+        payload["dp_time_s"] = deps[1]["dp_time_s"]
+    return payload
+
+
 _RUNNERS = {
     "gp": run_gp_job,
     "lg": run_lg_job,
@@ -371,6 +388,7 @@ _RUNNERS = {
     "transpile": run_transpile_job,
     "analyze": run_analyze_job,
     "fidelity": run_fidelity_job,
+    "metrics": run_metrics_job,
 }
 
 

@@ -22,7 +22,23 @@ import tempfile
 
 
 class ArtifactStore:
-    """JSON artifact cache: in-memory, optionally persisted under ``root``."""
+    """JSON artifact cache: in-memory, optionally persisted under ``root``.
+
+    The store is the cache behind ``--resume`` / ``--cache-dir``:
+    payloads are addressed by job content key (``has`` / ``get`` /
+    ``put``), live in memory for the current run, and — when ``root`` is
+    given — persist to ``<root>/<kind>/<key>.json`` via atomic writes.
+    Every client that shares a ``root`` shares the artifacts: a sweep, a
+    ``repro tables`` regeneration and a sharded run on another machine
+    all hit the same files for the same job keys.
+
+    The API is deliberately just get/put/has over JSON documents so
+    alternative backends (an object store, a shared filesystem, a
+    content-addressed service) can slot in without touching the executor.
+    ``put`` returns the canonicalized (JSON round-trip) payload, and
+    callers must use that returned form — it is byte-identical to what a
+    later ``get`` would read back from disk.
+    """
 
     def __init__(self, root: str = None) -> None:
         self.root = root

@@ -39,7 +39,24 @@ from repro.topologies.registry import get_topology
 
 @dataclass
 class SweepSpec:
-    """The full parameter set of one experiment sweep (JSON-safe)."""
+    """The full parameter set of one experiment sweep (JSON-safe).
+
+    A spec is the paper's evaluation protocol as plain data: every
+    (topology, benchmark, engine) combination gets one fidelity cell,
+    sampled over ``num_seeds`` transpilation seeds derived from
+    ``base_seed`` (see :meth:`mapping_seed`).  ``detailed=True`` runs
+    qGDP's detailed placement on top of its legalization, matching the
+    paper's qGDP-DP rows.  ``config`` and ``noise`` are the JSON-safe
+    dict forms of :class:`~repro.core.config.QGDPConfig` and
+    :class:`~repro.crosstalk.parameters.NoiseParameters` (see
+    ``config_to_dict`` / ``noise_to_dict`` in
+    :mod:`repro.orchestration.stages`).
+
+    Only code-relevant parameters live here — worker counts, shard
+    indices, cache paths and timeouts deliberately do not, so they can
+    never perturb :attr:`spec_hash` or any job key: the same spec always
+    addresses the same artifacts, whoever computes them.
+    """
 
     topologies: tuple
     benchmarks: tuple
@@ -215,19 +232,30 @@ def run_sweep(
     progress=None,
     store: ArtifactStore = None,
     retries: int = 0,
+    timeout_s: float = None,
 ) -> SweepResult:
     """Plan and execute a sweep; returns cells, stats and the manifest.
 
+    Results are **bit-identical** regardless of ``workers``, caching or
+    scheduling — see ``docs/orchestration.md`` — and the returned
+    :class:`SweepResult` carries the fidelity cells (plan order), the
+    :class:`~repro.orchestration.executor.RunStats` and the run manifest
+    (including the per-job ledger ``repro diff`` consumes).
+
     ``cache_dir`` enables the disk artifact store (ignored when an
     explicit ``store`` is given); ``resume=True`` reuses any artifact
-    already present instead of recomputing it.  ``shard=(i, n)`` keeps
-    the i-th of n deterministic cell slices (1-based).  ``retries``
-    re-runs flaky jobs (see :func:`repro.orchestration.executor
-    .run_jobs`); attempts that failed but recovered land in the
-    manifest's ``jobs.failures`` log, while a job that exhausts its
-    retries aborts the sweep with :class:`~repro.orchestration.executor
-    .JobFailure` — no manifest is written, and the accumulated failure
-    log rides on the exception's ``failures`` attribute instead.
+    already present instead of recomputing it.  ``workers <= 1`` runs
+    serially in-process (the debugging mode); larger values use a
+    dependency-aware process pool.  ``shard=(i, n)`` keeps the i-th of n
+    deterministic cell slices (1-based).  ``retries`` re-runs flaky jobs
+    and ``timeout_s`` bounds each job attempt's wall clock in a
+    terminatable child process (see :func:`repro.orchestration.executor
+    .run_jobs`); attempts that failed — including timeouts, logged with
+    ``error_type: "JobTimeout"`` — but recovered land in the manifest's
+    ``jobs.failures`` log, while a job that exhausts its retries aborts
+    the sweep with :class:`~repro.orchestration.executor.JobFailure` —
+    no manifest is written, and the accumulated failure log rides on the
+    exception's ``failures`` attribute instead.
     """
     shard = _parse_shard(shard)
     plan = plan_sweep(spec)
@@ -251,6 +279,7 @@ def run_sweep(
         resume=resume,
         progress=progress,
         retries=retries,
+        timeout_s=timeout_s,
     )
 
     cells = {}
@@ -275,6 +304,7 @@ def run_sweep(
         "workers": workers,
         "resume": resume,
         "retries": retries,
+        "timeout_s": timeout_s,
         "jobs": stats.to_dict(),
         "num_cells": len(cells),
     }

@@ -1,5 +1,7 @@
 """Executor semantics: serial/parallel equivalence, caching, failure."""
 
+import time
+
 import pytest
 
 import repro.orchestration.executor as executor_module
@@ -208,3 +210,112 @@ def test_progress_events_cover_every_job():
     )
     assert sum(1 for _, s in events if s == "start") == len(graph)
     assert sum(1 for _, s in events if s == "done") == len(graph)
+
+
+# -- job-level wall-clock timeouts -------------------------------------------
+# The timeout wrapper forks a child that runs the module-global
+# execute_job, so (with the default fork start method) monkeypatching
+# executor_module.execute_job reaches the child exactly like the serial
+# path — and pool workers created after the patch inherit it too.
+
+
+def _sleeping(kind, params, deps):
+    import time as _time
+
+    _time.sleep(60)
+    return real_execute_job(kind, params, deps)
+
+
+def test_timeout_kills_hung_job_serially(monkeypatch):
+    monkeypatch.setattr(executor_module, "execute_job", _sleeping)
+    t0 = time.perf_counter()
+    with pytest.raises(JobFailure) as info:
+        run_jobs(_bad_job_graph(), ArtifactStore(), workers=1, timeout_s=0.5)
+    assert time.perf_counter() - t0 < 30
+    assert info.value.failures[0]["error_type"] == "JobTimeout"
+
+
+def test_timeout_kills_hung_job_in_pool(monkeypatch):
+    monkeypatch.setattr(executor_module, "execute_job", _sleeping)
+    t0 = time.perf_counter()
+    with pytest.raises(JobFailure) as info:
+        run_jobs(_bad_job_graph(), ArtifactStore(), workers=2, timeout_s=0.5)
+    assert time.perf_counter() - t0 < 30
+    assert info.value.failures[0]["error_type"] == "JobTimeout"
+
+
+def test_timeout_generous_budget_is_bit_identical():
+    graph = _small_graph()
+    plain, _ = run_jobs(graph, ArtifactStore(), workers=1)
+    timed, stats = run_jobs(
+        graph, ArtifactStore(), workers=1, timeout_s=600.0
+    )
+    assert _strip_timings(timed) == _strip_timings(plain)
+    assert stats.computed == len(graph)
+
+
+def test_timeout_attempts_count_against_retries(tmp_path, monkeypatch):
+    flag = tmp_path / "first-attempt-done"
+
+    def slow_once(kind, params, deps):
+        import time as _time
+
+        if kind == "gp" and not flag.exists():
+            flag.touch()
+            _time.sleep(60)
+        return real_execute_job(kind, params, deps)
+
+    monkeypatch.setattr(executor_module, "execute_job", slow_once)
+    graph = _small_graph()
+    results, stats = run_jobs(
+        graph, ArtifactStore(), workers=1, retries=1, timeout_s=5.0
+    )
+    assert stats.computed == len(graph)
+    assert len(results) == len(graph)
+    assert [f["error_type"] for f in stats.failures] == ["JobTimeout"]
+    assert stats.failures[0]["attempt"] == 1
+
+
+def test_timeout_preserves_job_error_types_and_traceback():
+    # A failing (not hanging) job under a timeout must still report its
+    # original exception type — and the failing stage's traceback frames,
+    # which don't pickle and are forwarded as a formatted string instead.
+    with pytest.raises(JobFailure) as info:
+        run_jobs(_bad_job_graph(), ArtifactStore(), workers=1, timeout_s=30.0)
+    entry = info.value.failures[0]
+    assert entry["error_type"] == "KeyError"
+    assert "registry" in entry["traceback"]  # the frame that actually raised
+
+
+def test_invalid_timeout_rejected():
+    for bad in (0, -1.0):
+        with pytest.raises(ValueError):
+            run_jobs(_small_graph(), ArtifactStore(), workers=1, timeout_s=bad)
+
+
+def test_run_stats_entries_ledger(tmp_path):
+    graph = _small_graph()
+    store = ArtifactStore(str(tmp_path / "cache"))
+    _, first = run_jobs(graph, store, workers=1)
+    assert len(first.entries) == len(graph)
+    assert {e["status"] for e in first.entries} == {"computed"}
+    assert {e["key"] for e in first.entries} == set(graph.jobs)
+    assert first.to_dict()["entries"] == first.entries
+
+    _, second = run_jobs(
+        graph,
+        ArtifactStore(str(tmp_path / "cache")),
+        workers=1,
+        resume=True,
+    )
+    assert {e["status"] for e in second.entries} == {"cached"}
+    entry = second.entries[0]
+    assert set(entry) == {
+        "key", "kind", "topology", "engine", "benchmark", "seed", "status"
+    }
+
+
+def test_entries_ledger_is_in_graph_order_even_with_pool():
+    graph = _small_graph()
+    _, stats = run_jobs(graph, ArtifactStore(), workers=3)
+    assert [e["key"] for e in stats.entries] == [j.key for j in graph.ordered()]

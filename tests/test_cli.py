@@ -58,10 +58,159 @@ def test_fidelity_command(capsys):
 
 
 def test_tables_command(capsys):
-    code = main(["tables", "--which", "table3", "--topologies", "grid"])
+    code = main(
+        ["tables", "--which", "table3", "--topologies", "grid", "--no-cache"]
+    )
     assert code == 0
     out = capsys.readouterr().out
     assert "LG Iedge" in out
+
+
+def test_tables_cached_run_is_byte_identical_and_recomputes_nothing(
+    capsys, tmp_path
+):
+    """Acceptance: two paper topologies, shared cache — the second run
+    recomputes zero jobs and its stdout is byte-identical, and both equal
+    the in-process evaluate_engines formatting."""
+    cache = str(tmp_path / "cache")
+    args = [
+        "tables", "--which", "all",
+        "--topologies", "grid", "aspen11",
+        "--cache-dir", cache,
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr()
+    assert "manifest:" in first.err
+    assert "0 jobs computed" not in first.err  # the cold run did work
+
+    assert main(args) == 0
+    second = capsys.readouterr()
+    assert second.out == first.out  # byte-identical tables
+    assert "0 jobs computed" in second.err
+
+    manifest = json.loads(
+        next((tmp_path / "cache" / "runs").iterdir())
+        .joinpath("manifest.json")
+        .read_text()
+    )
+    assert manifest["jobs"]["computed"] == 0
+    assert manifest["jobs"]["cached"] == manifest["jobs"]["total"]
+
+    # The in-process path (serial, same artifacts via the shared cache)
+    # formats the exact same bytes.
+    from repro.evaluation import (
+        EvaluationConfig,
+        format_fig9,
+        format_table2,
+        format_table3,
+        run_engine_evaluations,
+    )
+    from repro.legalization import PAPER_ENGINE_ORDER
+
+    result = run_engine_evaluations(
+        ["grid", "aspen11"],
+        PAPER_ENGINE_ORDER,
+        EvaluationConfig(),
+        cache_dir=cache,
+        resume=True,
+    )
+    topologies = ["grid", "aspen11"]
+    in_process = (
+        format_fig9(result.evaluations, topologies, PAPER_ENGINE_ORDER)
+        + "\n"
+        + format_table2(result.evaluations, topologies, PAPER_ENGINE_ORDER)
+        + "\n"
+        + format_table3(result.evaluations, topologies)
+        + "\n"
+    )
+    assert first.out == in_process
+
+
+def test_tables_out_keeps_same_spec_runs_diffable(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    base = [
+        "tables", "--which", "fig9", "--topologies", "grid",
+        "--cache-dir", cache,
+    ]
+    assert main(base + ["--out", str(tmp_path / "cold")]) == 0
+    assert main(base + ["--out", str(tmp_path / "warm")]) == 0
+    capsys.readouterr()
+    # Cold vs warm of the same spec: same jobs/cells, but the warm run
+    # reused everything the cold run computed → empty diff, exit 0.
+    assert main(["diff", str(tmp_path / "cold"), str(tmp_path / "warm")]) == 0
+    assert "identical" in capsys.readouterr().out
+    cold = json.loads((tmp_path / "cold" / "manifest.json").read_text())
+    warm = json.loads((tmp_path / "warm" / "manifest.json").read_text())
+    assert cold["jobs"]["computed"] > 0
+    assert warm["jobs"]["computed"] == 0
+
+
+def test_diff_identical_runs_and_changed_spec(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    sweep = [
+        "sweep",
+        "--topologies", "grid",
+        "--benchmarks", "bv-4",
+        "--engines", "qgdp",
+        "--seeds", "2",
+        "--workers", "1",
+        "--cache-dir", cache,
+        "--quiet",
+    ]
+    assert main(sweep + ["--out", str(tmp_path / "a")]) == 0
+    assert main(sweep + ["--resume", "--out", str(tmp_path / "b")]) == 0
+    capsys.readouterr()
+
+    # Identical spec, warm cache: empty diff, exit 0.
+    assert main(["diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+    assert "identical" in capsys.readouterr().out
+
+    # One more seed: transpile/fidelity jobs change, the cell changes.
+    changed = [
+        "sweep",
+        "--topologies", "grid",
+        "--benchmarks", "bv-4",
+        "--engines", "qgdp",
+        "--seeds", "3",
+        "--workers", "1",
+        "--cache-dir", cache,
+        "--resume",
+        "--quiet",
+        "--out", str(tmp_path / "c"),
+    ]
+    assert main(changed) == 0
+    capsys.readouterr()
+    assert main(["diff", str(tmp_path / "a"), str(tmp_path / "c")]) == 1
+    out = capsys.readouterr().out
+    assert "added" in out and "recomputed" in out
+    assert "~ grid/bv-4/qgdp" in out
+
+
+def test_diff_reports_recomputed_jobs(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    sweep = [
+        "sweep",
+        "--topologies", "grid",
+        "--benchmarks", "bv-4",
+        "--engines", "qgdp",
+        "--seeds", "1",
+        "--workers", "1",
+        "--cache-dir", cache,
+        "--quiet",
+    ]
+    assert main(sweep + ["--out", str(tmp_path / "a")]) == 0
+    # Second run WITHOUT --resume recomputes everything: the diff must say so.
+    assert main(sweep + ["--out", str(tmp_path / "b")]) == 0
+    capsys.readouterr()
+    assert main(["diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+    out = capsys.readouterr().out
+    assert "recomputed jobs" in out
+    assert "0 changed" in out  # recompute is bit-identical, cells unchanged
+
+
+def test_diff_rejects_unreadable_run(capsys, tmp_path):
+    assert main(["diff", str(tmp_path / "nope"), str(tmp_path / "nope")]) == 2
+    assert "diff:" in capsys.readouterr().err
 
 
 def test_flow_all_runs_every_paper_topology(capsys):

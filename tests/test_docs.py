@@ -1,0 +1,38 @@
+"""Docs can't silently rot: link integrity and example importability.
+
+Runs the same checks the CI docs job runs (``tools/check_docs.py``), so
+a broken intra-repo markdown link or an example that no longer imports
+fails tier-1 locally, not just in CI.
+"""
+
+import importlib.util
+import os
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_checker():
+    path = os.path.join(_ROOT, "tools", "check_docs.py")
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_markdown_links_resolve():
+    checker = _load_checker()
+    assert checker.check_links(_ROOT) == []
+
+
+def test_examples_import_cleanly():
+    checker = _load_checker()
+    assert checker.check_examples(_ROOT) == []
+
+
+def test_checker_catches_a_broken_link(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "doc.md").write_text(
+        "see [missing](nope.md) and [ok](doc.md)\n"
+        "```\n[not a link](never-checked.md)\n```\n"
+    )
+    assert checker.check_links(str(tmp_path)) == [("doc.md", "nope.md")]

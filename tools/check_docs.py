@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Docs rot guard: markdown link integrity + example importability.
+
+Checks that every intra-repo markdown link (``[text](relative/path)``)
+in the repository's ``*.md`` files resolves to an existing file, and —
+with ``--examples`` — that every ``examples/*.py`` script imports
+cleanly in import-only mode (their ``if __name__ == "__main__"`` guards
+keep the actual runs out).  CI runs both; ``tests/test_docs.py`` runs
+the link check as part of tier-1 so broken links fail locally too.
+
+Usage::
+
+    python tools/check_docs.py              # link check only
+    PYTHONPATH=src python tools/check_docs.py --examples
+
+Exit code 0 when everything resolves, 1 otherwise (failures listed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import re
+import sys
+
+#: Inline markdown links: [text](target).  Targets with a scheme or a
+#: pure-anchor target are external/self references, not file links.
+_LINK = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+
+_SKIPPED_DIRS = {".git", ".repro_cache", "__pycache__", ".pytest_cache"}
+
+
+def _markdown_files(root: str) -> list:
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in _SKIPPED_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def _strip_code_fences(text: str) -> str:
+    """Drop fenced code blocks: their bracket/paren runs are not links."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_links(root: str) -> list:
+    """All broken intra-repo links as ``(md_file, target)`` pairs."""
+    broken = []
+    for md_path in _markdown_files(root):
+        with open(md_path, "r", encoding="utf-8") as fh:
+            text = _strip_code_fences(fh.read())
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), target_path)
+            )
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(md_path, root), target))
+    return broken
+
+
+def check_examples(root: str) -> list:
+    """Import every examples/*.py; returns ``(script, error)`` failures."""
+    failures = []
+    examples_dir = os.path.join(root, "examples")
+    if not os.path.isdir(examples_dir):
+        return failures
+    for name in sorted(os.listdir(examples_dir)):
+        if not name.endswith(".py"):
+            continue
+        path = os.path.join(examples_dir, name)
+        module_name = f"_example_{name[:-3]}"
+        try:
+            spec = importlib.util.spec_from_file_location(module_name, path)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append((os.path.relpath(path, root), f"{type(exc).__name__}: {exc}"))
+        finally:
+            sys.modules.pop(module_name, None)
+    return failures
+
+
+def main(argv: list = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--examples",
+        action="store_true",
+        help="also import examples/*.py (requires PYTHONPATH=src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: this script's parent's parent)",
+    )
+    args = parser.parse_args(argv)
+
+    ok = True
+    broken = check_links(args.root)
+    for md_file, target in broken:
+        print(f"broken link in {md_file}: {target}")
+        ok = False
+    if not broken:
+        print(f"markdown links ok ({len(_markdown_files(args.root))} files)")
+
+    if args.examples:
+        failures = check_examples(args.root)
+        for script, error in failures:
+            print(f"example fails to import: {script}: {error}")
+            ok = False
+        if not failures:
+            print("examples import cleanly")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,11 +11,22 @@ Examples::
     python -m repro sweep --topologies grid falcon --seeds 10 --workers 4
     python -m repro sweep --topologies grid falcon --seeds 10 --resume
     python -m repro diff .repro_cache/runs/<run_a> .repro_cache/runs/<run_b>
+    python -m repro serve-cache --store sqlite:shared.db --port 8765
+    python -m repro sweep --cache-url http://cache-host:8765 --resume
+    python -m repro cache stats sqlite:shared.db
+    python -m repro cache push dir:.repro_cache sqlite:shared.db
 
 ``tables`` assembles Fig. 9 / Tables II–III from the same content-addressed
 artifact cache sweeps use (see ``docs/tables.md``): the table text goes to
 stdout, job-counter diagnostics to stderr, and — when the cache is enabled
 — a diffable run manifest to ``<cache>/runs/<run_id>-tables/``.
+
+Artifact caches live behind pluggable storage backends addressed by URL
+(``dir:PATH``, ``sqlite:PATH``, ``http://host:port`` — see
+``docs/storage.md``): ``--cache-url`` points ``sweep`` / ``tables`` at
+any backend, ``serve-cache`` exposes a local store to a fleet over
+HTTP, and ``cache`` inspects (``stats``), expires (``gc``) and syncs
+(``push`` / ``pull``) stores by content key.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 from repro.circuits import PAPER_BENCHMARKS
 from repro.core.config import QGDPConfig
@@ -40,11 +52,17 @@ from repro.evaluation import (
 )
 from repro.legalization import PAPER_ENGINE_ORDER
 from repro.orchestration import (
+    RemoteHTTPBackend,
     RunSink,
+    StoreError,
+    backend_from_url,
     diff_runs,
     format_diff,
     load_run,
+    resolve_store,
     run_sweep,
+    serve_cache,
+    sync_stores,
 )
 from repro.topologies import PAPER_TOPOLOGIES, available_topologies, get_topology
 from repro.visualization import render_layout, save_layout_json
@@ -120,17 +138,29 @@ def _cmd_fidelity(args) -> int:
 def _cmd_tables(args) -> int:
     eval_config = EvaluationConfig(config=QGDPConfig(seed=args.seed))
     cache_dir = None if args.no_cache else args.cache_dir
-    result = run_engine_evaluations(
-        args.topologies,
-        PAPER_ENGINE_ORDER,
-        eval_config,
-        with_dp_for=("qgdp",),
-        cache_dir=cache_dir,
-        workers=args.workers,
-        resume=args.resume and cache_dir is not None,
-        retries=args.retries,
-        timeout_s=args.timeout_s,
-    )
+    cache_url = None if args.no_cache else args.cache_url
+    try:
+        store = _open_cli_store(cache_url, cache_dir)
+    except (StoreError, ValueError) as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        return 1
+    try:
+        result = run_engine_evaluations(
+            args.topologies,
+            PAPER_ENGINE_ORDER,
+            eval_config,
+            with_dp_for=("qgdp",),
+            store=store,
+            workers=args.workers,
+            resume=args.resume and (cache_dir or cache_url) is not None,
+            retries=args.retries,
+            timeout_s=args.timeout_s,
+        )
+    except StoreError as exc:  # server died mid-run: fail cleanly
+        print(f"cache: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
     evaluations = result.evaluations
     # The deliverable (the tables) goes to stdout; run diagnostics go to
     # stderr so regenerated output is byte-comparable across cache states.
@@ -171,6 +201,150 @@ def _cmd_diff(args) -> int:
     return 0 if diff.is_empty else 1
 
 
+def _open_cli_store(cache_url, cache_dir):
+    """Resolve the cache flags to a store, failing fast on a dead server.
+
+    A mistyped ``--cache-url`` host must error out *before* the sweep
+    computes anything (the first ``put`` otherwise happens only after
+    the first — possibly expensive — job finishes), so a remote backend
+    is pinged up front.  Raises ``StoreError`` / ``ValueError``; the
+    command handlers translate those into clean stderr messages.
+    """
+    store = resolve_store(cache_url=cache_url, cache_dir=cache_dir)
+    backend = store.backend
+    remote = getattr(backend, "remote", backend)  # unwrap a tiered stack
+    if isinstance(remote, RemoteHTTPBackend):
+        remote.ping()
+    return store
+
+
+def _format_bytes(count: int) -> str:
+    """Human-readable byte count (stable, short: '12.3 KiB')."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{int(count)} B"  # unreachable; keeps the typechecker honest
+
+
+def _open_backend(url: str):
+    """Resolve a store URL or exit with diff-style code 2 on a bad one."""
+    try:
+        return backend_from_url(url)
+    except ValueError as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _cmd_cache_stats(args) -> int:
+    backend = _open_backend(args.store)
+    try:
+        entries = backend.entries()
+        by_kind = {}
+        for entry in entries:
+            slot = by_kind.setdefault(entry.kind, [0, 0])
+            slot[0] += 1
+            slot[1] += entry.size
+        total = sum(entry.size for entry in entries)
+        print(
+            f"{backend.describe()}: {len(entries)} artifacts, "
+            f"{_format_bytes(total)}"
+        )
+        for kind in sorted(by_kind):
+            count, size = by_kind[kind]
+            print(f"  {kind:10s} {count:6d} artifacts  {_format_bytes(size)}")
+    finally:
+        backend.close()
+    return 0
+
+
+def _cmd_cache_gc(args) -> int:
+    backend = _open_backend(args.store)
+    try:
+        cutoff = time.time() - args.keep_days * 86400.0
+        removed = removed_bytes = kept = 0
+        for entry in backend.entries():
+            if entry.mtime < cutoff:
+                if not args.dry_run:
+                    backend.delete(entry.kind, entry.key)
+                removed += 1
+                removed_bytes += entry.size
+            else:
+                kept += 1
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"{backend.describe()}: {verb} {removed} artifacts "
+            f"({_format_bytes(removed_bytes)}) older than "
+            f"{args.keep_days:g} days, kept {kept}"
+        )
+    finally:
+        backend.close()
+    return 0
+
+
+def _cmd_cache_sync(args) -> int:
+    # push copies local -> remote, pull copies remote -> local; both are
+    # idempotent (content keys: an artifact the destination already has
+    # is identical bytes and is skipped).
+    if args.cache_command == "push":
+        source_url, dest_url = args.local, args.remote
+    else:
+        source_url, dest_url = args.remote, args.local
+    source = _open_backend(source_url)
+    dest = _open_backend(dest_url)
+    try:
+        stats = sync_stores(source, dest)
+        print(
+            f"{source.describe()} -> {dest.describe()}: copied "
+            f"{stats.copied} artifacts ({_format_bytes(stats.bytes_copied)}), "
+            f"skipped {stats.skipped} already present"
+        )
+    finally:
+        source.close()
+        dest.close()
+    return 0
+
+
+_CACHE_HANDLERS = {
+    "stats": _cmd_cache_stats,
+    "gc": _cmd_cache_gc,
+    "push": _cmd_cache_sync,
+    "pull": _cmd_cache_sync,
+}
+
+
+def _cmd_cache(args) -> int:
+    try:
+        return _CACHE_HANDLERS[args.cache_command](args)
+    except StoreError as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_serve_cache(args) -> int:
+    try:
+        server = serve_cache(
+            args.store, host=args.host, port=args.port, quiet=args.quiet
+        )
+    except ValueError as exc:
+        print(f"serve-cache: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"serving {args.store} at {server.url} (Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _parse_shard(text: str) -> tuple:
     try:
         index, count = (int(part) for part in text.split("/"))
@@ -194,6 +368,7 @@ def _cmd_sweep(args) -> int:
     )
     spec = sweep_spec(args.topologies, args.benchmarks, args.engines, eval_config)
     cache_dir = None if args.no_cache else args.cache_dir
+    cache_url = None if args.no_cache else args.cache_url
 
     state = {"done": 0}
 
@@ -210,16 +385,27 @@ def _cmd_sweep(args) -> int:
             flush=True,
         )
 
-    result = run_sweep(
-        spec,
-        cache_dir=cache_dir,
-        workers=args.workers,
-        resume=args.resume,
-        shard=args.shard,
-        progress=progress,
-        retries=args.retries,
-        timeout_s=args.timeout_s,
-    )
+    try:
+        store = _open_cli_store(cache_url, cache_dir)
+    except (StoreError, ValueError) as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        return 1
+    try:
+        result = run_sweep(
+            spec,
+            store=store,
+            workers=args.workers,
+            resume=args.resume,
+            shard=args.shard,
+            progress=progress,
+            retries=args.retries,
+            timeout_s=args.timeout_s,
+        )
+    except StoreError as exc:  # server died mid-run: fail cleanly
+        print(f"cache: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
 
     if args.out:
         out_dir = args.out
@@ -313,6 +499,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tables.add_argument("--cache-dir", default=".repro_cache")
     tables.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="URL",
+        help="artifact store backend: dir:PATH, sqlite:PATH, or "
+        "http://host:port (a repro serve-cache; combined with "
+        "--cache-dir it is tiered behind the local directory)",
+    )
+    tables.add_argument(
         "--no-cache", action="store_true", help="keep artifacts in memory only"
     )
     tables.add_argument(
@@ -383,6 +577,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--cache-dir", default=".repro_cache")
     sweep.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="URL",
+        help="artifact store backend: dir:PATH, sqlite:PATH, or "
+        "http://host:port (a repro serve-cache; combined with "
+        "--cache-dir it is tiered behind the local directory)",
+    )
+    sweep.add_argument(
         "--no-cache", action="store_true", help="keep artifacts in memory only"
     )
     sweep.add_argument("--out", default=None, help="run output directory")
@@ -390,6 +592,106 @@ def build_parser() -> argparse.ArgumentParser:
         "--table", action="store_true", help="print the Fig. 8 table"
     )
     sweep.add_argument("--quiet", action="store_true", help="suppress per-job progress")
+
+    store_help = (
+        "store URL: dir:PATH (one JSON file per artifact, the "
+        ".repro_cache layout), sqlite:PATH (one WAL-mode database "
+        "file), http://host:port (a running repro serve-cache), or a "
+        "bare directory path"
+    )
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect, expire and sync artifact stores",
+        description="Operate on artifact stores by URL.  Stores are "
+        "content-addressed: the same job key always names the same "
+        "bytes, so push/pull only ever copy artifacts the destination "
+        "is missing and a re-sync is a no-op.  See docs/storage.md.",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_sub.add_parser(
+        "stats",
+        help="artifact count and size, total and per job kind",
+        description="Print the store's artifact count and byte size, "
+        "total and per job kind (gp, lg, transpile, ...).",
+    )
+    cache_stats.add_argument("store", help=store_help)
+
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="expire artifacts older than --keep-days",
+        description="Delete artifacts whose age exceeds --keep-days.  "
+        "Age is the backend's write time (file mtime for dir stores, "
+        "the insert timestamp for sqlite stores); artifacts a later "
+        "run rewrote count as fresh.  Safe at any time: an expired "
+        "artifact is simply recomputed by the next sweep that needs it.",
+    )
+    cache_gc.add_argument("store", help=store_help)
+    cache_gc.add_argument(
+        "--keep-days",
+        type=float,
+        required=True,
+        metavar="DAYS",
+        help="keep artifacts newer than this many days (fractions ok)",
+    )
+    cache_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+
+    cache_push = cache_sub.add_parser(
+        "push",
+        help="copy LOCAL's artifacts into REMOTE (by content key)",
+        description="Copy every artifact LOCAL has and REMOTE lacks "
+        "into REMOTE.  Idempotent: artifacts REMOTE already holds are "
+        "skipped, never rewritten (same key = same bytes).  Typical "
+        "use: seed a shared cache server or a sqlite snapshot from a "
+        "machine's warm .repro_cache.",
+    )
+    cache_pull = cache_sub.add_parser(
+        "pull",
+        help="copy REMOTE's artifacts into LOCAL (by content key)",
+        description="Copy every artifact REMOTE has and LOCAL lacks "
+        "into LOCAL — the mirror of push.  Typical use: pre-warm a "
+        "fresh machine from the fleet cache before an offline run.",
+    )
+    for sync_parser in (cache_push, cache_pull):
+        sync_parser.add_argument("local", metavar="LOCAL", help=store_help)
+        sync_parser.add_argument("remote", metavar="REMOTE", help=store_help)
+
+    serve = sub.add_parser(
+        "serve-cache",
+        help="serve an artifact store to other machines over HTTP",
+        description="Serve a local artifact store (dir: or sqlite:) "
+        "over the tiny JSON protocol RemoteHTTPBackend speaks, so "
+        "sweep machines pointed at it with --cache-url http://HOST:PORT "
+        "share one warm cache.  The server is stdlib-only and "
+        "unauthenticated: bind it to a trusted network.  See "
+        "docs/storage.md for the two-machine walkthrough.",
+    )
+    serve.add_argument(
+        "--store",
+        default="dir:.repro_cache",
+        help=f"{store_help} (default: dir:.repro_cache)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1; 0.0.0.0 exposes to the "
+        "network — do that only on a trusted one)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (default 8765; 0 picks an ephemeral port, "
+        "printed on startup)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
     return parser
 
 
@@ -401,6 +703,8 @@ _HANDLERS = {
     "tables": _cmd_tables,
     "sweep": _cmd_sweep,
     "diff": _cmd_diff,
+    "cache": _cmd_cache,
+    "serve-cache": _cmd_serve_cache,
 }
 
 

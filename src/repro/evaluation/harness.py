@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 from repro.core.config import QGDPConfig
 from repro.crosstalk.parameters import DEFAULT_NOISE, NoiseParameters
@@ -30,7 +31,7 @@ from repro.orchestration.stages import (
     metrics_from_dict,
     noise_to_dict,
 )
-from repro.orchestration.store import ArtifactStore
+from repro.orchestration.store import ArtifactStore, resolve_store
 from repro.orchestration.sweep import SweepSpec, run_sweep
 
 
@@ -200,40 +201,50 @@ def run_engine_evaluations(
     engine_names: list,
     eval_config: EvaluationConfig = None,
     with_dp_for: tuple = ("qgdp",),
-    cache_dir: str = None,
+    cache_dir: Optional[str] = None,
     workers: int = 0,
     resume: bool = False,
     retries: int = 0,
-    timeout_s: float = None,
-    store: ArtifactStore = None,
+    timeout_s: Optional[float] = None,
+    store: Optional[ArtifactStore] = None,
     progress=None,
+    cache_url: Optional[str] = None,
 ) -> EngineSweepResult:
     """Evaluate every engine on every topology through the orchestrator.
 
     The cached counterpart of :func:`evaluate_engines` and the engine
     behind ``repro tables``: plans the graph from
     :func:`plan_engine_evaluations` and executes it with the shared
-    executor, so ``cache_dir`` / ``resume`` / ``workers`` / ``retries`` /
-    ``timeout_s`` behave exactly as they do for fidelity sweeps.  On a
-    warm cache every job — including the ``metrics`` payloads that carry
-    the Table II timings — is a cache hit, making regenerated tables
-    byte-identical to the run that populated the cache.
+    executor, so ``cache_dir`` / ``cache_url`` / ``resume`` /
+    ``workers`` / ``retries`` / ``timeout_s`` behave exactly as they do
+    for fidelity sweeps (``cache_url`` selects a storage backend by URL
+    — ``dir:``, ``sqlite:``, ``http://`` — see ``docs/storage.md``).
+    On a warm cache every job — including the ``metrics`` payloads that
+    carry the Table II timings — is a cache hit, making regenerated
+    tables byte-identical to the run that populated the cache.
     """
     eval_config = eval_config or EvaluationConfig()
     graph, keys = plan_engine_evaluations(
         topology_names, engine_names, eval_config, with_dp_for
     )
-    if store is None:
-        store = ArtifactStore(cache_dir)
-    payloads, stats = run_jobs(
-        graph,
-        store,
-        workers=workers,
-        resume=resume,
-        progress=progress,
-        retries=retries,
-        timeout_s=timeout_s,
-    )
+    owns_store = store is None
+    if owns_store:
+        store = resolve_store(cache_url=cache_url, cache_dir=cache_dir)
+    try:
+        payloads, stats = run_jobs(
+            graph,
+            store,
+            workers=workers,
+            resume=resume,
+            progress=progress,
+            retries=retries,
+            timeout_s=timeout_s,
+        )
+    finally:
+        # Close self-opened stores (sqlite handles); leave caller-owned
+        # stores open for reuse.
+        if owns_store:
+            store.close()
 
     evaluations = {name: {} for name in topology_names}
     for (topology_name, engine_name), key in keys.items():

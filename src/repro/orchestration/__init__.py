@@ -1,18 +1,36 @@
 """Orchestration: parallel, resumable, disk-cached experiment sweeps.
 
 The subsystem decomposes a sweep into content-addressed stage jobs
-(:mod:`~repro.orchestration.jobs`), persists stage outputs in a disk
-artifact store (:mod:`~repro.orchestration.store`), executes the job DAG
+(:mod:`~repro.orchestration.jobs`), persists stage outputs through an
+artifact store (:mod:`~repro.orchestration.store`) with pluggable
+backends — directory, single-file SQLite, a remote cache server,
+optionally tiered (:mod:`~repro.orchestration.backends`,
+:mod:`~repro.orchestration.cache_server`) — executes the job DAG
 serially or across worker processes with retries and per-attempt
 timeouts (:mod:`~repro.orchestration.executor`), writes JSONL results
 plus a run manifest (:mod:`~repro.orchestration.sink`), and diffs run
 manifests for incremental-sweep workflows
 (:mod:`~repro.orchestration.diff`).  :mod:`~repro.orchestration.sweep`
 ties it together behind :func:`run_sweep`; the evaluation harness and
-the ``repro sweep`` / ``repro tables`` / ``repro diff`` CLI are thin
-clients.  See ``docs/orchestration.md`` and ``docs/tables.md``.
+the ``repro sweep`` / ``repro tables`` / ``repro diff`` /
+``repro cache`` / ``repro serve-cache`` CLI are thin clients.  See
+``docs/orchestration.md``, ``docs/storage.md`` and ``docs/tables.md``.
 """
 
+from repro.orchestration.backends import (
+    ArtifactEntry,
+    DirBackend,
+    RemoteHTTPBackend,
+    SqliteBackend,
+    StoreBackend,
+    StoreError,
+    StoreUnavailable,
+    SyncStats,
+    TieredBackend,
+    backend_from_url,
+    sync_stores,
+)
+from repro.orchestration.cache_server import CacheServer, serve_cache
 from repro.orchestration.diff import (
     RunDiff,
     diff_runs,
@@ -34,7 +52,11 @@ from repro.orchestration.stages import (
     noise_from_dict,
     noise_to_dict,
 )
-from repro.orchestration.store import ArtifactStore
+from repro.orchestration.store import (
+    ArtifactStore,
+    TieredStore,
+    resolve_store,
+)
 from repro.orchestration.sweep import (
     SweepPlan,
     SweepResult,
@@ -44,17 +66,29 @@ from repro.orchestration.sweep import (
 )
 
 __all__ = [
+    "ArtifactEntry",
     "ArtifactStore",
+    "CacheServer",
+    "DirBackend",
     "Job",
     "JobFailure",
     "JobGraph",
     "JobTimeout",
+    "RemoteHTTPBackend",
     "RunDiff",
     "RunSink",
     "RunStats",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoreError",
+    "StoreUnavailable",
     "SweepPlan",
     "SweepResult",
     "SweepSpec",
+    "SyncStats",
+    "TieredBackend",
+    "TieredStore",
+    "backend_from_url",
     "config_from_dict",
     "config_to_dict",
     "diff_runs",
@@ -66,6 +100,9 @@ __all__ = [
     "noise_to_dict",
     "plan_sweep",
     "read_jsonl",
+    "resolve_store",
     "run_jobs",
     "run_sweep",
+    "serve_cache",
+    "sync_stores",
 ]

@@ -1,0 +1,526 @@
+"""Pluggable persistence backends for the artifact store.
+
+The :class:`~repro.orchestration.store.ArtifactStore` API is
+deliberately just get/put/has over JSON documents; this module supplies
+the persistence layer behind it as interchangeable
+:class:`StoreBackend` implementations:
+
+* :class:`DirBackend` — one ``<root>/<kind>/<key>.json`` file per
+  artifact, byte-compatible with the ``.repro_cache/`` layout every
+  release so far has written (atomic tmp-file + rename writes);
+* :class:`SqliteBackend` — one WAL-mode SQLite database file holding
+  every artifact, safe for concurrent sharded writers and free of the
+  100k-inode sprawl a large sweep leaves behind as individual files;
+* :class:`RemoteHTTPBackend` — a client for the tiny JSON protocol
+  ``repro serve-cache`` speaks (see
+  :mod:`repro.orchestration.cache_server`), so machines share one warm
+  cache over the network;
+* :class:`TieredBackend` — a fast local layer over a remote one:
+  reads check local first and write remote hits back locally,
+  writes go to both, so a fleet of sweep machines behind one
+  ``serve-cache`` converges on warm local caches.
+
+Backends move artifacts as **canonical JSON text** (the exact bytes the
+store would write to disk), never re-encoding payloads, so any chain of
+``push`` / ``pull`` / tiering hops is byte-preserving: the content key
+always addresses the same bytes, whichever backend serves them.
+
+``backend_from_url`` resolves the user-facing store URL schemes
+(``dir:PATH``, ``sqlite:PATH``, ``http://...``; a bare path means
+``dir:``), and :func:`sync_stores` copies one backend into another by
+content key — the engine behind ``repro cache push`` / ``pull``.  See
+``docs/storage.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+
+class StoreError(RuntimeError):
+    """A storage backend rejected or failed an operation."""
+
+
+class StoreUnavailable(StoreError):
+    """A remote store could not be reached (network / server down).
+
+    Raised instead of silently treating the remote as empty: a flaky
+    cache server must fail a resume loudly, not trigger a silent fleet
+    recomputation of every artifact.
+    """
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """One stored artifact: identity plus the bookkeeping gc/stats need."""
+
+    kind: str
+    key: str
+    size: int  # canonical JSON text, UTF-8 bytes
+    mtime: float  # seconds since the epoch, backend-local clock
+
+
+class StoreBackend(ABC):
+    """The persistence contract behind :class:`ArtifactStore`.
+
+    Implementations store canonical JSON *text* addressed by
+    ``(kind, key)`` and must be safe to call from multiple threads (the
+    cache server serves one backend from a threading HTTP server).
+    ``get_text`` returns ``None`` for absent or unreadable artifacts;
+    only genuine backend failures raise :class:`StoreError`.
+    """
+
+    @abstractmethod
+    def get_text(self, kind: str, key: str) -> Optional[str]:
+        """The artifact's canonical JSON text, or ``None`` when absent."""
+
+    @abstractmethod
+    def put_text(self, kind: str, key: str, text: str) -> None:
+        """Store canonical JSON text (atomically / transactionally)."""
+
+    @abstractmethod
+    def has(self, kind: str, key: str) -> bool:
+        """True when the artifact exists."""
+
+    @abstractmethod
+    def entries(self) -> List[ArtifactEntry]:
+        """Every stored artifact (the inventory gc / stats / sync walk)."""
+
+    @abstractmethod
+    def delete(self, kind: str, key: str) -> bool:
+        """Remove one artifact; True when something was deleted."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """The backend's canonical store URL (``dir:...``, etc.)."""
+
+    def close(self) -> None:
+        """Release backend resources (connections, sockets); idempotent."""
+
+    def __enter__(self) -> "StoreBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class DirBackend(StoreBackend):
+    """Directory layout: ``<root>/<kind>/<key>.json``, atomic writes.
+
+    Byte-compatible with the historical ``.repro_cache/`` directory —
+    an existing cache keeps working unchanged, and artifacts written
+    through any other backend then ``repro cache push``-ed here are
+    byte-identical to ones this backend wrote itself.  Run outputs under
+    ``<root>/runs/<run_id>/`` live one level deeper and are therefore
+    never mistaken for artifacts by :meth:`entries`.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, kind: str, key: str) -> str:
+        return os.path.join(self.root, kind, f"{key}.json")
+
+    def get_text(self, kind: str, key: str) -> Optional[str]:
+        try:
+            with open(self._path(kind, key), "r", encoding="utf-8") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    def put_text(self, kind: str, key: str, text: str) -> None:
+        path = self._path(kind, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def has(self, kind: str, key: str) -> bool:
+        return os.path.exists(self._path(kind, key))
+
+    def entries(self) -> List[ArtifactEntry]:
+        found = []
+        try:
+            kinds = sorted(os.listdir(self.root))
+        except OSError:
+            return found
+        for kind in kinds:
+            kind_dir = os.path.join(self.root, kind)
+            if not os.path.isdir(kind_dir):
+                continue
+            for name in sorted(os.listdir(kind_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(kind_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                found.append(
+                    ArtifactEntry(
+                        kind=kind,
+                        key=name[: -len(".json")],
+                        size=stat.st_size,
+                        mtime=stat.st_mtime,
+                    )
+                )
+        return found
+
+    def delete(self, kind: str, key: str) -> bool:
+        try:
+            os.unlink(self._path(kind, key))
+            return True
+        except OSError:
+            return False
+
+    def describe(self) -> str:
+        return f"dir:{self.root}"
+
+
+class SqliteBackend(StoreBackend):
+    """One WAL-mode SQLite database file holding every artifact.
+
+    A large sweep stores one row per artifact instead of one inode per
+    artifact, and WAL journaling with a generous busy timeout makes the
+    file safe for concurrent writers **on one host** — several sweep
+    processes, sharded ``repro sweep --shard i/n`` runs, or a
+    ``serve-cache`` thread pool all landing on the same local database.
+    WAL's shared-memory index does not work across network filesystems,
+    so never point two *machines* at one ``sqlite:`` path over NFS —
+    that is exactly what ``repro serve-cache`` over this backend is
+    for.  A single connection guarded by a lock serves each backend
+    instance (SQLite serializes writers anyway; the lock keeps one
+    instance thread-safe for the HTTP server).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS artifacts ("
+                " kind TEXT NOT NULL,"
+                " key TEXT NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " created_at REAL NOT NULL,"
+                " PRIMARY KEY (kind, key))"
+            )
+            self._conn.commit()
+
+    def get_text(self, kind: str, key: str) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM artifacts WHERE kind = ? AND key = ?",
+                (kind, key),
+            ).fetchone()
+        return None if row is None else row[0]
+
+    def put_text(self, kind: str, key: str, text: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO artifacts"
+                " (kind, key, payload, created_at) VALUES (?, ?, ?, ?)",
+                (kind, key, text, time.time()),
+            )
+            self._conn.commit()
+
+    def has(self, kind: str, key: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM artifacts WHERE kind = ? AND key = ?",
+                (kind, key),
+            ).fetchone()
+        return row is not None
+
+    def entries(self) -> List[ArtifactEntry]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT kind, key, length(CAST(payload AS BLOB)), created_at"
+                " FROM artifacts ORDER BY kind, key"
+            ).fetchall()
+        return [
+            ArtifactEntry(kind=kind, key=key, size=size, mtime=mtime)
+            for kind, key, size, mtime in rows
+        ]
+
+    def delete(self, kind: str, key: str) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM artifacts WHERE kind = ? AND key = ?",
+                (kind, key),
+            )
+            self._conn.commit()
+        return cursor.rowcount > 0
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def describe(self) -> str:
+        return f"sqlite:{self.path}"
+
+
+class RemoteHTTPBackend(StoreBackend):
+    """Client for the ``repro serve-cache`` JSON protocol.
+
+    The protocol is four verbs on
+    ``/v1/artifact/<kind>/<key>`` (GET / HEAD / PUT / DELETE) plus
+    ``GET /v1/list``, ``GET /v1/stats`` and ``GET /v1/ping`` — see
+    :mod:`repro.orchestration.cache_server` and ``docs/storage.md``.
+    Connection-level failures raise :class:`StoreUnavailable` (a flaky
+    server must not silently look like an empty cache); HTTP 404 is the
+    one *expected* error and maps to ``None`` / ``False``.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _artifact_url(self, kind: str, key: str) -> str:
+        return (
+            f"{self.base_url}/v1/artifact/"
+            f"{urllib.parse.quote(kind, safe='')}/"
+            f"{urllib.parse.quote(key, safe='')}"
+        )
+
+    def _request(
+        self,
+        url: str,
+        method: str = "GET",
+        body: Optional[bytes] = None,
+    ) -> Tuple[int, bytes]:
+        request = urllib.request.Request(url, data=body, method=method)
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            return exc.code, detail
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise StoreUnavailable(
+                f"cache server {self.base_url} unreachable: {exc}"
+            ) from exc
+
+    def get_text(self, kind: str, key: str) -> Optional[str]:
+        status, body = self._request(self._artifact_url(kind, key))
+        if status == 404:
+            return None
+        if status != 200:
+            raise StoreError(
+                f"GET {kind}/{key[:12]} failed: HTTP {status}"
+            )
+        return body.decode("utf-8")
+
+    def put_text(self, kind: str, key: str, text: str) -> None:
+        status, body = self._request(
+            self._artifact_url(kind, key),
+            method="PUT",
+            body=text.encode("utf-8"),
+        )
+        if status not in (200, 204):
+            raise StoreError(
+                f"PUT {kind}/{key[:12]} failed: HTTP {status} "
+                f"{body.decode('utf-8', 'replace')[:200]}"
+            )
+
+    def has(self, kind: str, key: str) -> bool:
+        status, _body = self._request(
+            self._artifact_url(kind, key), method="HEAD"
+        )
+        if status == 200:
+            return True
+        if status == 404:
+            return False
+        raise StoreError(f"HEAD {kind}/{key[:12]} failed: HTTP {status}")
+
+    def entries(self) -> List[ArtifactEntry]:
+        status, body = self._request(f"{self.base_url}/v1/list")
+        if status != 200:
+            raise StoreError(f"GET /v1/list failed: HTTP {status}")
+        listed = json.loads(body.decode("utf-8"))["entries"]
+        return [
+            ArtifactEntry(
+                kind=entry["kind"],
+                key=entry["key"],
+                size=entry["size"],
+                mtime=entry["mtime"],
+            )
+            for entry in listed
+        ]
+
+    def delete(self, kind: str, key: str) -> bool:
+        status, _body = self._request(
+            self._artifact_url(kind, key), method="DELETE"
+        )
+        if status in (200, 204):
+            return True
+        if status == 404:
+            return False
+        raise StoreError(f"DELETE {kind}/{key[:12]} failed: HTTP {status}")
+
+    def ping(self) -> dict:
+        """The server's ``/v1/ping`` document (raises when unreachable)."""
+        status, body = self._request(f"{self.base_url}/v1/ping")
+        if status != 200:
+            raise StoreError(f"GET /v1/ping failed: HTTP {status}")
+        return json.loads(body.decode("utf-8"))
+
+    def describe(self) -> str:
+        return self.base_url
+
+
+class TieredBackend(StoreBackend):
+    """A fast local layer over a remote backend (read-through cache).
+
+    * ``get_text`` serves from local when possible; a remote hit is
+      written back to the local layer, so repeated reads never touch
+      the network twice for the same key.
+    * ``put_text`` writes to **both** layers: the machine that computed
+      an artifact warms the fleet-wide cache immediately.
+    * ``entries`` reports the union of both layers (the remote is
+      authoritative for anything the local layer hasn't seen yet).
+
+    ``has`` consults local first, then remote — against an *empty*
+    local layer every hit is therefore proof the remote served it,
+    which is exactly what the backend-parity acceptance test leans on.
+    """
+
+    def __init__(self, local: StoreBackend, remote: StoreBackend) -> None:
+        self.local = local
+        self.remote = remote
+
+    def get_text(self, kind: str, key: str) -> Optional[str]:
+        text = self.local.get_text(kind, key)
+        if text is not None:
+            return text
+        text = self.remote.get_text(kind, key)
+        if text is not None:
+            self.local.put_text(kind, key, text)
+        return text
+
+    def put_text(self, kind: str, key: str, text: str) -> None:
+        self.local.put_text(kind, key, text)
+        self.remote.put_text(kind, key, text)
+
+    def has(self, kind: str, key: str) -> bool:
+        return self.local.has(kind, key) or self.remote.has(kind, key)
+
+    def entries(self) -> List[ArtifactEntry]:
+        merged = {(e.kind, e.key): e for e in self.remote.entries()}
+        for entry in self.local.entries():
+            merged[(entry.kind, entry.key)] = entry
+        return [merged[pair] for pair in sorted(merged)]
+
+    def delete(self, kind: str, key: str) -> bool:
+        local = self.local.delete(kind, key)
+        remote = self.remote.delete(kind, key)
+        return local or remote
+
+    def close(self) -> None:
+        self.local.close()
+        self.remote.close()
+
+    def describe(self) -> str:
+        return f"tier({self.local.describe()} -> {self.remote.describe()})"
+
+
+#: URL schemes ``backend_from_url`` understands, for error messages.
+SUPPORTED_SCHEMES = ("dir:PATH", "sqlite:PATH", "http://HOST:PORT")
+
+
+def backend_from_url(url: Union[str, StoreBackend]) -> StoreBackend:
+    """Resolve a store URL to a backend instance.
+
+    ``dir:PATH`` (or a bare path) opens the directory layout,
+    ``sqlite:PATH`` the single-file database, and ``http://`` /
+    ``https://`` a remote ``repro serve-cache``.  An already-constructed
+    backend passes through unchanged, so APIs can accept either form.
+    """
+    if isinstance(url, StoreBackend):
+        return url
+    if url.startswith("dir:"):
+        return DirBackend(url[len("dir:"):])
+    if url.startswith("sqlite:"):
+        return SqliteBackend(url[len("sqlite:"):])
+    if url.startswith(("http://", "https://")):
+        return RemoteHTTPBackend(url)
+    scheme, sep, _rest = url.partition(":")
+    if sep and "/" not in scheme and scheme not in ("", "."):
+        raise ValueError(
+            f"unsupported store URL scheme {scheme!r} in {url!r}; "
+            f"supported: {', '.join(SUPPORTED_SCHEMES)} or a bare path"
+        )
+    return DirBackend(url)  # a bare path is a directory store
+
+
+@dataclass
+class SyncStats:
+    """What one :func:`sync_stores` pass did."""
+
+    copied: int = 0
+    skipped: int = 0
+    bytes_copied: int = 0
+
+
+def sync_stores(
+    source: Union[str, StoreBackend],
+    destination: Union[str, StoreBackend],
+) -> SyncStats:
+    """Copy every artifact ``source`` has and ``destination`` lacks.
+
+    Content keys make the sync idempotent and conflict-free: an artifact
+    the destination already holds under the same ``(kind, key)`` is the
+    same bytes by construction, so it is skipped, never rewritten.  Text
+    moves verbatim (no JSON re-encoding), keeping the byte-identical
+    guarantee across any chain of pushes.  The destination's inventory
+    is fetched once up front (one ``/v1/list`` round trip for a remote)
+    rather than probed per artifact, so pushing a 100k-artifact cache
+    costs one listing, not 100k HEAD requests.  This is the engine
+    behind ``repro cache push`` / ``pull``.
+    """
+    src = backend_from_url(source)
+    dst = backend_from_url(destination)
+    stats = SyncStats()
+    existing = {(entry.kind, entry.key) for entry in dst.entries()}
+    for entry in src.entries():
+        if (entry.kind, entry.key) in existing:
+            stats.skipped += 1
+            continue
+        text = src.get_text(entry.kind, entry.key)
+        if text is None:  # vanished mid-walk (concurrent gc); skip honestly
+            stats.skipped += 1
+            continue
+        dst.put_text(entry.kind, entry.key, text)
+        stats.copied += 1
+        stats.bytes_copied += len(text.encode("utf-8"))
+    return stats

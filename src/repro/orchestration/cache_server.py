@@ -1,0 +1,246 @@
+"""``repro serve-cache``: a tiny HTTP artifact-cache server (stdlib only).
+
+One process serves one :class:`~repro.orchestration.backends
+.StoreBackend` (directory or SQLite) to any number of sweep machines
+speaking the matching :class:`~repro.orchestration.backends
+.RemoteHTTPBackend` client — typically tiered over a local layer, so
+the fleet shares one warm cache while reads stay local after the first
+hit.  The protocol is deliberately minimal JSON-over-HTTP:
+
+====================================  =======================================
+``GET  /v1/artifact/<kind>/<key>``    canonical JSON text, or 404
+``HEAD /v1/artifact/<kind>/<key>``    existence probe (200 / 404)
+``PUT  /v1/artifact/<kind>/<key>``    store the request body (must be JSON)
+``DELETE /v1/artifact/<kind>/<key>``  remove one artifact (204 / 404)
+``GET  /v1/list``                     ``{"entries": [{kind,key,size,mtime}]}``
+``GET  /v1/stats``                    ``{"entries": N, "bytes": M}``
+``GET  /v1/ping``                     ``{"ok": true, "store": "<url>"}``
+====================================  =======================================
+
+Artifact text passes through the server verbatim — it never re-encodes
+payloads — so a cache populated over HTTP is byte-identical to one the
+same backend would have written locally.  The server is a
+:class:`http.server.ThreadingHTTPServer`; both shipped backends are
+thread-safe (atomic renames / a locked WAL connection).  There is no
+authentication: serve on a trusted network (the typical deployment is
+one lab/CI subnet), or front it with a reverse proxy.  See
+``docs/storage.md`` for the two-machine walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import unquote
+
+from repro.orchestration.backends import StoreBackend, backend_from_url
+
+#: kind / key path segments must be plain tokens — this is what keeps a
+#: DirBackend-backed server inside its root (no separators, no dotfiles).
+_SAFE_SEGMENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+#: Refuse absurd artifact uploads rather than buffering them (64 MiB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _parse_artifact_path(path: str) -> Optional[Tuple[str, str]]:
+    """``/v1/artifact/<kind>/<key>`` → ``(kind, key)``, else ``None``."""
+    parts = path.split("/")
+    if len(parts) != 5 or parts[:3] != ["", "v1", "artifact"]:
+        return None
+    kind, key = unquote(parts[3]), unquote(parts[4])
+    if not (_SAFE_SEGMENT.match(kind) and _SAFE_SEGMENT.match(key)):
+        return None
+    return kind, key
+
+
+class _CacheRequestHandler(BaseHTTPRequestHandler):
+    """Routes the /v1 protocol onto ``self.server.backend``."""
+
+    server_version = "repro-cache/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ---------------------------------------------------------
+    @property
+    def backend(self) -> StoreBackend:
+        return self.server.backend
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send(self, status: int, body: bytes = b"",
+              content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body and self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _send_json(self, status: int, document: dict) -> None:
+        self._send(status, json.dumps(document).encode("utf-8"))
+
+    def _bad_request(self, message: str) -> None:
+        self._send_json(400, {"error": message})
+
+    # -- verbs ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if self.path == "/v1/ping":
+            self._send_json(
+                200, {"ok": True, "store": self.backend.describe()}
+            )
+            return
+        if self.path == "/v1/list":
+            entries = [
+                {"kind": e.kind, "key": e.key, "size": e.size, "mtime": e.mtime}
+                for e in self.backend.entries()
+            ]
+            self._send_json(200, {"entries": entries})
+            return
+        if self.path == "/v1/stats":
+            entries = self.backend.entries()
+            self._send_json(
+                200,
+                {
+                    "entries": len(entries),
+                    "bytes": sum(e.size for e in entries),
+                },
+            )
+            return
+        located = _parse_artifact_path(self.path)
+        if located is None:
+            self._bad_request(f"unrecognized path {self.path!r}")
+            return
+        text = self.backend.get_text(*located)
+        if text is None:
+            self._send_json(404, {"error": "not found"})
+            return
+        self._send(200, text.encode("utf-8"))
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        located = _parse_artifact_path(self.path)
+        if located is None:
+            self._bad_request(f"unrecognized path {self.path!r}")
+            return
+        self._send(200 if self.backend.has(*located) else 404)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        located = _parse_artifact_path(self.path)
+        if located is None:
+            self._bad_request(f"unrecognized path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._bad_request("missing Content-Length")
+            return
+        if length < 0:
+            # read(-1) would block on the socket until the client
+            # hangs up — refuse instead of tying up a handler thread.
+            self._bad_request("negative Content-Length")
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_json(413, {"error": "artifact too large"})
+            return
+        body = self.rfile.read(length)
+        try:
+            text = body.decode("utf-8")
+            json.loads(text)  # validate only; stored verbatim
+        except (UnicodeDecodeError, ValueError):
+            self._bad_request("body is not valid JSON")
+            return
+        self.backend.put_text(*located, text)
+        self._send(204)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        located = _parse_artifact_path(self.path)
+        if located is None:
+            self._bad_request(f"unrecognized path {self.path!r}")
+            return
+        if self.backend.delete(*located):
+            self._send(204)
+        else:
+            self._send_json(404, {"error": "not found"})
+
+
+class CacheServer:
+    """A running ``serve-cache`` instance (embeddable; used by the CLI).
+
+    Binds on construction — ``port=0`` picks an ephemeral port, read
+    back from :attr:`port` / :attr:`url` — and serves from a background
+    thread after :meth:`start`.  Usable as a context manager::
+
+        with CacheServer(backend_from_url("dir:.repro_cache")) as server:
+            client = RemoteHTTPBackend(server.url)
+            ...
+
+    The CLI instead calls :meth:`serve_forever` on the main thread.
+    """
+
+    def __init__(
+        self,
+        backend: StoreBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self.backend = backend
+        self._httpd = ThreadingHTTPServer((host, port), _CacheRequestHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.backend = backend
+        self._httpd.quiet = quiet
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        """The base URL clients pass to ``--cache-url``."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CacheServer":
+        """Serve from a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket; idempotent.
+
+        ``shutdown()`` handshakes with a *running* ``serve_forever``
+        loop, so it is only issued when the background thread owns one;
+        after a foreground ``serve_forever`` returned (CLI Ctrl-C) the
+        socket just needs closing.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "CacheServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def serve_cache(
+    store_url: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    quiet: bool = False,
+) -> CacheServer:
+    """Open ``store_url`` and return a bound (not yet serving) server."""
+    return CacheServer(
+        backend_from_url(store_url), host=host, port=port, quiet=quiet
+    )

@@ -12,7 +12,11 @@ wall-clock, never results.
 Cache interaction: with ``resume=True``, jobs whose payload already
 exists in the artifact store are not executed at all; they are counted
 as *cached* in the returned :class:`RunStats` (the run-manifest counters
-the resume acceptance test checks).
+the resume acceptance test checks).  The executor only ever speaks the
+store's get/put/has API — which persistence backend sits underneath
+(directory, SQLite, a remote cache server, a tiered stack; see
+:mod:`repro.orchestration.backends`) is invisible here, and the
+backend-parity suite holds every backend to byte-identical results.
 
 Wall-clock control: ``timeout_s`` bounds each job *attempt*.  The job is
 executed in a forked child process the parent can actually terminate, so
@@ -33,6 +37,7 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.orchestration.jobs import JobGraph
 from repro.orchestration.stages import execute_job
@@ -138,7 +143,7 @@ class JobFailure(RuntimeError):
     ``error_type: "JobTimeout"``.
     """
 
-    def __init__(self, job, cause, failures: list = None) -> None:
+    def __init__(self, job, cause, failures: Optional[list] = None) -> None:
         super().__init__(
             f"{job.kind} job {job.key[:12]} failed "
             f"({job.params.get('topology', '?')}): {cause}"
@@ -237,7 +242,7 @@ def run_jobs(
     resume: bool = False,
     progress=None,
     retries: int = 0,
-    timeout_s: float = None,
+    timeout_s: Optional[float] = None,
 ) -> tuple:
     """Execute a job graph; returns ``(results, stats)``.
 
@@ -309,8 +314,8 @@ def run_jobs(
 
 
 def _run_pool(
-    pending, results, store, stats, workers, progress, retries=0,
-    timeout_s=None,
+    pending, results, store, stats, workers, progress, retries: int = 0,
+    timeout_s: Optional[float] = None,
 ) -> None:
     """Fan pending jobs out to a process pool, honoring dependencies.
 

@@ -1,72 +1,107 @@
-"""Disk-backed artifact store for stage outputs.
+"""The artifact store: an in-memory layer over a pluggable backend.
 
 Artifacts are JSON documents addressed by job key.  The store keeps an
-in-memory layer for the current run and, when given a root directory
-(``.repro_cache/`` by convention), persists every payload to
-``<root>/<kind>/<key>.json`` with an atomic write (tmp file + rename), so
-interrupted sweeps never leave half-written artifacts and a ``--resume``
-run picks up exactly where the previous one stopped.
+in-memory layer for the current run and, when given a persistence
+backend (see :mod:`repro.orchestration.backends`), writes every payload
+through it as canonical JSON text.  The default backend is the
+historical directory layout — ``<root>/<kind>/<key>.json`` under
+``.repro_cache/`` by convention, atomic tmp-file + rename writes — so
+``ArtifactStore(root)`` behaves exactly as it always has and existing
+caches keep working; a single-file SQLite database
+(``sqlite:PATH``) and a remote ``repro serve-cache``
+(``http://host:port``), optionally tiered behind a local layer, slot in
+through :meth:`ArtifactStore.from_url` / :func:`resolve_store` without
+the executor noticing.  Interrupted sweeps never leave half-written
+artifacts and a ``--resume`` run picks up exactly where the previous
+one stopped, whichever backend persisted them.
 
 Payloads are canonicalized through a JSON round trip on ``put`` so the
-in-memory and on-disk representations are byte-for-byte the same thing:
-a job consuming a freshly computed payload sees exactly what it would
-have read back from disk (floats round-trip exactly; dict insertion
-order is preserved).
+in-memory and persisted representations are byte-for-byte the same
+thing: a job consuming a freshly computed payload sees exactly what it
+would have read back from the backend (floats round-trip exactly; dict
+insertion order is preserved).
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
+from typing import Optional, Union
+
+from repro.orchestration.backends import (
+    DirBackend,
+    RemoteHTTPBackend,
+    StoreBackend,
+    TieredBackend,
+    backend_from_url,
+)
 
 
 class ArtifactStore:
-    """JSON artifact cache: in-memory, optionally persisted under ``root``.
+    """JSON artifact cache: in-memory, optionally persisted by a backend.
 
-    The store is the cache behind ``--resume`` / ``--cache-dir``:
-    payloads are addressed by job content key (``has`` / ``get`` /
-    ``put``), live in memory for the current run, and — when ``root`` is
-    given — persist to ``<root>/<kind>/<key>.json`` via atomic writes.
-    Every client that shares a ``root`` shares the artifacts: a sweep, a
+    The store is the cache behind ``--resume`` / ``--cache-dir`` /
+    ``--cache-url``: payloads are addressed by job content key (``has``
+    / ``get`` / ``put``), live in memory for the current run, and — when
+    a backend is attached — persist through it as canonical JSON text.
+    Every client that shares a backend shares the artifacts: a sweep, a
     ``repro tables`` regeneration and a sharded run on another machine
-    all hit the same files for the same job keys.
+    all resolve the same content keys to the same bytes, whether the
+    backend is a directory, a SQLite file or a remote cache server.
 
-    The API is deliberately just get/put/has over JSON documents so
-    alternative backends (an object store, a shared filesystem, a
-    content-addressed service) can slot in without touching the executor.
+    The API is deliberately just get/put/has over JSON documents, and
+    the persistence contract below it (:class:`~repro.orchestration
+    .backends.StoreBackend`) is get/put/has over JSON *text* — so
+    alternative backends slot in without touching the executor.
     ``put`` returns the canonicalized (JSON round-trip) payload, and
-    callers must use that returned form — it is byte-identical to what a
-    later ``get`` would read back from disk.
+    callers must use that returned form — it is byte-identical to what
+    a later ``get`` would read back from any backend.
+
+    ``ArtifactStore(root)`` keeps the historical signature: a bare
+    directory path opens the byte-compatible directory backend.
     """
 
-    def __init__(self, root: str = None) -> None:
-        self.root = root
-        self._memory = {}
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        backend: Optional[StoreBackend] = None,
+    ) -> None:
+        if root is not None and backend is not None:
+            raise ValueError("pass either root or backend, not both")
         if root is not None:
-            os.makedirs(root, exist_ok=True)
+            backend = DirBackend(root)
+        self.root = root
+        self.backend = backend
+        self._memory = {}
 
-    def _path(self, kind: str, key: str) -> str:
-        return os.path.join(self.root, kind, f"{key}.json")
+    @classmethod
+    def from_url(cls, url: Union[str, StoreBackend]) -> "ArtifactStore":
+        """Open a store from a URL: ``dir:PATH``, ``sqlite:PATH``,
+        ``http://host:port``, or a bare directory path."""
+        return cls(backend=backend_from_url(url))
+
+    def describe(self) -> str:
+        """The store's URL form (``memory:`` when nothing persists)."""
+        return "memory:" if self.backend is None else self.backend.describe()
 
     def has(self, kind: str, key: str) -> bool:
-        """True when an artifact exists in memory or on disk."""
+        """True when an artifact exists in memory or in the backend."""
         if key in self._memory:
             return True
-        return self.root is not None and os.path.exists(self._path(kind, key))
+        return self.backend is not None and self.backend.has(kind, key)
 
     def get(self, kind: str, key: str):
         """Load an artifact payload, or None when absent."""
         if key in self._memory:
             return self._memory[key]
-        if self.root is None:
+        if self.backend is None:
             return None
-        path = self._path(kind, key)
+        text = self.backend.get_text(kind, key)
+        if text is None:
+            return None
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
-            return None
+            payload = json.loads(text)
+        except ValueError:
+            return None  # corrupt artifact: treat as a miss, recompute
         self._memory[key] = payload
         return payload
 
@@ -75,20 +110,63 @@ class ArtifactStore:
         text = json.dumps(payload)
         canonical = json.loads(text)
         self._memory[key] = canonical
-        if self.root is not None:
-            path = self._path(kind, key)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    fh.write(text)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+        if self.backend is not None:
+            self.backend.put_text(kind, key, text)
         return canonical
+
+    def close(self) -> None:
+        """Release the backend's resources (connections); idempotent."""
+        if self.backend is not None:
+            self.backend.close()
+
+
+class TieredStore(ArtifactStore):
+    """An artifact store with a fast local layer over a remote backend.
+
+    Reads are served locally when possible; remote hits are written back
+    to the local layer, and writes go to both — so a fleet of sweep
+    machines behind one ``repro serve-cache`` shares a warm cache while
+    repeated reads stay off the network.  Layers may be given as
+    backends or store URLs::
+
+        store = TieredStore("dir:.repro_cache", "http://cache-host:8765")
+        run_sweep(spec, store=store, resume=True)
+
+    The CLI builds exactly this when ``--cache-url http://...`` is
+    combined with a ``--cache-dir`` (the default).
+    """
+
+    def __init__(
+        self,
+        local: Union[str, StoreBackend],
+        remote: Union[str, StoreBackend],
+    ) -> None:
+        super().__init__(
+            backend=TieredBackend(
+                backend_from_url(local), backend_from_url(remote)
+            )
+        )
+
+
+def resolve_store(
+    cache_url: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+) -> ArtifactStore:
+    """Build the store the CLI flags describe.
+
+    * Neither flag → memory-only store (``--no-cache``).
+    * ``cache_dir`` only → the historical directory store.
+    * ``cache_url`` of ``dir:`` / ``sqlite:`` → that backend (a local
+      ``cache_dir`` would be redundant tiering over another local
+      store, so it is ignored for artifacts — it still hosts run
+      outputs).
+    * An ``http(s)://`` ``cache_url`` *plus* a ``cache_dir`` → a
+      :class:`TieredStore`: local fast layer, remote shared layer.
+      Without a ``cache_dir`` the remote is used directly.
+    """
+    if cache_url is None:
+        return ArtifactStore(cache_dir)
+    backend = backend_from_url(cache_url)
+    if isinstance(backend, RemoteHTTPBackend) and cache_dir is not None:
+        return TieredStore(DirBackend(cache_dir), backend)
+    return ArtifactStore(backend=backend)

@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.circuits.registry import get_benchmark
 from repro.orchestration.executor import RunStats, run_jobs
 from repro.orchestration.jobs import Job, JobGraph, canonical_json
 from repro.orchestration.stages import config_to_dict, noise_to_dict
-from repro.orchestration.store import ArtifactStore
+from repro.orchestration.store import ArtifactStore, resolve_store
 from repro.core.config import QGDPConfig
 from repro.crosstalk.parameters import DEFAULT_NOISE
 from repro.topologies.registry import get_topology
@@ -225,14 +226,15 @@ def _parse_shard(shard) -> tuple:
 
 def run_sweep(
     spec: SweepSpec,
-    cache_dir: str = None,
+    cache_dir: Optional[str] = None,
     workers: int = 0,
     resume: bool = False,
-    shard: tuple = None,
+    shard: Optional[tuple] = None,
     progress=None,
-    store: ArtifactStore = None,
+    store: Optional[ArtifactStore] = None,
     retries: int = 0,
-    timeout_s: float = None,
+    timeout_s: Optional[float] = None,
+    cache_url: Optional[str] = None,
 ) -> SweepResult:
     """Plan and execute a sweep; returns cells, stats and the manifest.
 
@@ -242,9 +244,13 @@ def run_sweep(
     :class:`~repro.orchestration.executor.RunStats` and the run manifest
     (including the per-job ledger ``repro diff`` consumes).
 
-    ``cache_dir`` enables the disk artifact store (ignored when an
-    explicit ``store`` is given); ``resume=True`` reuses any artifact
-    already present instead of recomputing it.  ``workers <= 1`` runs
+    ``cache_dir`` enables the disk artifact store and ``cache_url``
+    selects an alternative backend by URL (``dir:PATH``,
+    ``sqlite:PATH``, ``http://host:port`` — an HTTP URL combined with a
+    ``cache_dir`` tiers the remote behind a local fast layer; see
+    ``docs/storage.md``); both are ignored when an explicit ``store``
+    is given.  ``resume=True`` reuses any artifact already present
+    instead of recomputing it.  ``workers <= 1`` runs
     serially in-process (the debugging mode); larger values use a
     dependency-aware process pool.  ``shard=(i, n)`` keeps the i-th of n
     deterministic cell slices (1-based).  ``retries`` re-runs flaky jobs
@@ -270,17 +276,24 @@ def run_sweep(
         cell_keys = {cell: cell_keys[cell] for cell in selected}
         graph = graph.restricted_to(cell_keys.values())
 
-    if store is None:
-        store = ArtifactStore(cache_dir)
-    results, stats = run_jobs(
-        graph,
-        store,
-        workers=workers,
-        resume=resume,
-        progress=progress,
-        retries=retries,
-        timeout_s=timeout_s,
-    )
+    owns_store = store is None
+    if owns_store:
+        store = resolve_store(cache_url=cache_url, cache_dir=cache_dir)
+    try:
+        results, stats = run_jobs(
+            graph,
+            store,
+            workers=workers,
+            resume=resume,
+            progress=progress,
+            retries=retries,
+            timeout_s=timeout_s,
+        )
+    finally:
+        # A store we opened is ours to close (sqlite connections, etc.);
+        # a caller-supplied store stays open for the caller's next run.
+        if owns_store:
+            store.close()
 
     cells = {}
     for cell_id, key in cell_keys.items():

@@ -1,0 +1,146 @@
+"""The ``repro serve-cache`` HTTP protocol against a live server.
+
+Every test runs a real ThreadingHTTPServer on an ephemeral port and
+talks to it over actual sockets — both through the RemoteHTTPBackend
+client and through raw urllib requests that exercise the protocol's
+error paths (bad paths, traversal attempts, invalid JSON bodies).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.orchestration import (
+    CacheServer,
+    DirBackend,
+    RemoteHTTPBackend,
+    SqliteBackend,
+)
+
+
+@pytest.fixture(params=["dir", "sqlite"])
+def server(request, tmp_path):
+    if request.param == "dir":
+        backend = DirBackend(str(tmp_path / "served"))
+    else:
+        backend = SqliteBackend(str(tmp_path / "served.db"))
+    with CacheServer(backend) as running:
+        yield running
+    backend.close()
+
+
+@pytest.fixture
+def client(server):
+    return RemoteHTTPBackend(server.url, timeout_s=10.0)
+
+
+def _raw(url, method="GET", body=None, headers=None):
+    request = urllib.request.Request(
+        url, data=body, method=method, headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def test_ping_reports_store(server, client):
+    ping = client.ping()
+    assert ping["ok"] is True
+    assert ping["store"] == server.backend.describe()
+
+
+def test_artifact_roundtrip_over_http(server, client):
+    text = json.dumps({"x": 0.1 + 0.2, "nested": [1, 2]})
+    client.put_text("gp", "abc123", text)
+    assert client.get_text("gp", "abc123") == text  # byte-preserved
+    assert client.has("gp", "abc123")
+    assert server.backend.get_text("gp", "abc123") == text
+
+
+def test_missing_artifact_is_404_not_error(client):
+    assert client.get_text("gp", "missing") is None
+    assert not client.has("gp", "missing")
+    assert not client.delete("gp", "missing")
+
+
+def test_list_and_stats_endpoints(server, client):
+    client.put_text("gp", "a", '{"x": 1}')
+    client.put_text("lg", "b", '{"y": 23}')
+    entries = {(e.kind, e.key): e.size for e in client.entries()}
+    assert entries == {("gp", "a"): 8, ("lg", "b"): 9}
+    status, body = _raw(f"{server.url}/v1/stats")
+    assert status == 200
+    stats = json.loads(body)
+    assert stats == {"entries": 2, "bytes": 17}
+
+
+def test_delete_over_http(server, client):
+    client.put_text("gp", "doomed", '{"x": 1}')
+    assert client.delete("gp", "doomed")
+    assert not server.backend.has("gp", "doomed")
+
+
+def test_unknown_paths_rejected(server):
+    for path in ("/v1/artifact/onlykind", "/v2/artifact/a/b", "/etc/passwd"):
+        status, _ = _raw(f"{server.url}{path}")
+        assert status == 400, path
+
+
+def test_traversal_segments_rejected(server):
+    # kind/key are path tokens on a DirBackend server: separators and
+    # dotfile prefixes must never reach the filesystem join.
+    for kind, key in ((".." , "x"), ("a%2F..%2Fb", "x"), ("gp", ".hidden")):
+        status, _ = _raw(f"{server.url}/v1/artifact/{kind}/{key}")
+        assert status == 400, (kind, key)
+
+
+def test_put_rejects_negative_content_length(server):
+    # read(-1) would block the handler thread until the client hangs
+    # up; the server must refuse the header instead.
+    status, body = _raw(
+        f"{server.url}/v1/artifact/gp/key",
+        method="PUT",
+        body=b"",
+        headers={"Content-Length": "-1"},
+    )
+    assert status == 400
+    assert b"negative Content-Length" in body
+
+
+def test_put_rejects_non_json_bodies(server, client):
+    status, body = _raw(
+        f"{server.url}/v1/artifact/gp/key",
+        method="PUT",
+        body=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    assert status == 400
+    assert b"not valid JSON" in body
+    assert not client.has("gp", "key")
+
+
+def test_concurrent_clients_share_one_store(server):
+    # The threading server handles interleaved clients; last-write-wins
+    # on the same key and both clients observe each other's artifacts.
+    one = RemoteHTTPBackend(server.url)
+    two = RemoteHTTPBackend(server.url)
+    one.put_text("gp", "shared", '{"from": 1}')
+    assert two.get_text("gp", "shared") == '{"from": 1}'
+    two.put_text("gp", "shared", '{"from": 2}')
+    assert one.get_text("gp", "shared") == '{"from": 2}'
+
+
+def test_ephemeral_port_allocation(tmp_path):
+    first = CacheServer(DirBackend(str(tmp_path / "a")))
+    second = CacheServer(DirBackend(str(tmp_path / "b")))
+    try:
+        assert first.port != 0 and second.port != 0
+        assert first.port != second.port
+        assert first.url.endswith(str(first.port))
+    finally:
+        first.stop()
+        second.stop()

@@ -1,21 +1,30 @@
 """Perf smoke guards: the qGDP hot paths must stay interactive.
 
 One small end-to-end flow (place → legalize → detailed-place on a 5×5
-qubit grid) plus an analysis-kernel guard (legalize + MST trace build +
-crossing count on a 12×12 grid), each with a *generous* wall-clock
-budget — an order of magnitude above the vectorized implementations'
-typical time, but far below a pure-Python regression, so only a genuine
-hot-path regression trips them.  Part of the tier-1 run; select just
-these guards with ``pytest -m perf_smoke``.
+qubit grid), an analysis-kernel guard (legalize + MST trace build +
+crossing count on a 12×12 grid), and a cache-server round-trip guard
+(50 artifacts pushed and read back through a live ``serve-cache``),
+each with a *generous* wall-clock budget — an order of magnitude above
+the implementations' typical time, but far below a genuine regression,
+so only a real hot-path or protocol-overhead regression trips them.
+Part of the tier-1 run; select just these guards with
+``pytest -m perf_smoke``.
 """
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
 
 from repro.core.config import QGDPConfig
+from repro.orchestration import (
+    CacheServer,
+    DirBackend,
+    RemoteHTTPBackend,
+    TieredStore,
+)
 from repro.detailed import DetailedPlacer
 from repro.legalization import get_engine, run_legalization
 from repro.metrics import check_legality, integration_ratio
@@ -32,6 +41,12 @@ SMOKE_BUDGET_S = 10.0
 #: their scalar predecessors); the generous ceiling only trips on a
 #: complexity-class regression in one of the three analysis kernels.
 KERNEL_BUDGET_S = 5.0
+
+#: Budget for 50 artifacts pushed and read back through a live cache
+#: server over loopback HTTP, seconds.  Typical: well under 0.5 s; the
+#: ceiling trips only on a per-request overhead regression (connection
+#: churn, payload re-encoding, server-side scans per artifact).
+CACHE_SERVER_BUDGET_S = 15.0
 
 
 @pytest.mark.perf_smoke
@@ -71,4 +86,30 @@ def test_analysis_kernels_12x12_within_budget():
     assert elapsed < KERNEL_BUDGET_S, (
         f"legalize+traces+crossings took {elapsed:.2f}s on a 12x12 grid "
         f"(budget {KERNEL_BUDGET_S}s) — analysis-kernel regression?"
+    )
+
+
+@pytest.mark.perf_smoke
+def test_cache_server_round_trip_within_budget(tmp_path):
+    """50 artifacts through a live serve-cache: put, cold get, tiered get."""
+    payloads = {
+        f"key{i:03d}": {"samples": [i / 7.0, i / 11.0], "seed": i}
+        for i in range(50)
+    }
+    with CacheServer(DirBackend(str(tmp_path / "served"))) as server:
+        client = RemoteHTTPBackend(server.url)
+
+        t0 = time.perf_counter()
+        for key, payload in payloads.items():
+            client.put_text("fidelity", key, json.dumps(payload))
+        for key, payload in payloads.items():  # cold reads over HTTP
+            assert json.loads(client.get_text("fidelity", key)) == payload
+        tiered = TieredStore(f"dir:{tmp_path / 'local'}", server.url)
+        for key, payload in payloads.items():  # read-through + write-back
+            assert tiered.get("fidelity", key) == payload
+        elapsed = time.perf_counter() - t0
+
+    assert elapsed < CACHE_SERVER_BUDGET_S, (
+        f"150 cache-server round trips took {elapsed:.2f}s "
+        f"(budget {CACHE_SERVER_BUDGET_S}s) — protocol overhead regression?"
     )

@@ -29,6 +29,23 @@ def test_examples_import_cleanly():
     assert checker.check_examples(_ROOT) == []
 
 
+def test_python_fences_parse():
+    checker = _load_checker()
+    assert checker.check_fences(_ROOT) == []
+
+
+def test_checker_catches_a_broken_fence(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "README.md").write_text(
+        "```python\ndef broken(:\n```\n"
+        "```sh\nnot python, never compiled\n```\n"
+        "```python\nprint('fine')\n```\n"
+    )
+    broken = checker.check_fences(str(tmp_path))
+    assert len(broken) == 1
+    assert broken[0][0] == "README.md" and broken[0][1] == 2
+
+
 def test_checker_catches_a_broken_link(tmp_path):
     checker = _load_checker()
     (tmp_path / "doc.md").write_text(

@@ -1,16 +1,20 @@
 #!/usr/bin/env python
-"""Docs rot guard: markdown link integrity + example importability.
+"""Docs rot guard: link integrity, code-fence syntax, example imports.
 
 Checks that every intra-repo markdown link (``[text](relative/path)``)
-in the repository's ``*.md`` files resolves to an existing file, and —
-with ``--examples`` — that every ``examples/*.py`` script imports
-cleanly in import-only mode (their ``if __name__ == "__main__"`` guards
-keep the actual runs out).  CI runs both; ``tests/test_docs.py`` runs
-the link check as part of tier-1 so broken links fail locally too.
+in the repository's ``*.md`` files resolves to an existing file, that
+every ```` ```python ```` fence in the curated docs (``README.md`` and
+``docs/*.md`` — not scratch files like SNIPPETS.md) at least *parses*
+as Python, and — with ``--examples`` — that every ``examples/*.py``
+script imports cleanly in import-only mode (their
+``if __name__ == "__main__"`` guards keep the actual runs out; new
+example scripts are discovered automatically).  CI runs all three;
+``tests/test_docs.py`` runs the link and fence checks as part of tier-1
+so rotted docs fail locally too.
 
 Usage::
 
-    python tools/check_docs.py              # link check only
+    python tools/check_docs.py              # link + fence checks
     PYTHONPATH=src python tools/check_docs.py --examples
 
 Exit code 0 when everything resolves, 1 otherwise (failures listed).
@@ -74,6 +78,55 @@ def check_links(root: str) -> list:
     return broken
 
 
+def _python_fences(text: str) -> list:
+    """``(first_line_number, source)`` for every ```python fence."""
+    fences, buffer, start, in_python = [], [], 0, False
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("```"):
+            if in_python:
+                fences.append((start, "\n".join(buffer)))
+                buffer, in_python = [], False
+            elif stripped.rstrip() == "```python":
+                start, in_python = number + 1, True
+            continue
+        if in_python:
+            buffer.append(line)
+    return fences
+
+
+def check_fences(root: str) -> list:
+    """Syntax-broken ```python fences in the curated docs.
+
+    Returns ``(md_file, line, error)`` triples.  Only README.md and
+    docs/*.md are checked — those are the documents whose examples
+    users paste — so scratch markdown (SNIPPETS.md, ISSUE.md) stays
+    free-form.  Fences are compiled, never executed.
+    """
+    curated = [os.path.join(root, "README.md")]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        curated.extend(
+            os.path.join(docs_dir, name)
+            for name in sorted(os.listdir(docs_dir))
+            if name.endswith(".md")
+        )
+    broken = []
+    for md_path in curated:
+        if not os.path.exists(md_path):
+            continue
+        with open(md_path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        for line, source in _python_fences(text):
+            try:
+                compile(source, f"{md_path}:{line}", "exec")
+            except SyntaxError as exc:
+                broken.append(
+                    (os.path.relpath(md_path, root), line, str(exc))
+                )
+    return broken
+
+
 def check_examples(root: str) -> list:
     """Import every examples/*.py; returns ``(script, error)`` failures."""
     failures = []
@@ -117,6 +170,13 @@ def main(argv: list = None) -> int:
         ok = False
     if not broken:
         print(f"markdown links ok ({len(_markdown_files(args.root))} files)")
+
+    bad_fences = check_fences(args.root)
+    for md_file, line, error in bad_fences:
+        print(f"broken python fence in {md_file}:{line}: {error}")
+        ok = False
+    if not bad_fences:
+        print("python fences parse")
 
     if args.examples:
         failures = check_examples(args.root)

@@ -15,6 +15,10 @@ Examples::
     python -m repro sweep --cache-url http://cache-host:8765 --resume
     python -m repro cache stats sqlite:shared.db
     python -m repro cache push dir:.repro_cache sqlite:shared.db
+    python -m repro serve-cache --store sqlite:shared.db --fleet
+    python -m repro worker --coordinator http://cache-host:8765
+    python -m repro sweep --fleet http://cache-host:8765 --seeds 10
+    python -m repro fleet status --coordinator http://cache-host:8765
 
 ``tables`` assembles Fig. 9 / Tables II–III from the same content-addressed
 artifact cache sweeps use (see ``docs/tables.md``): the table text goes to
@@ -52,6 +56,8 @@ from repro.evaluation import (
 )
 from repro.legalization import PAPER_ENGINE_ORDER
 from repro.orchestration import (
+    FleetClient,
+    FleetError,
     RemoteHTTPBackend,
     RunSink,
     StoreError,
@@ -60,7 +66,9 @@ from repro.orchestration import (
     format_diff,
     load_run,
     resolve_store,
+    run_fleet_sweep,
     run_sweep,
+    run_worker,
     serve_cache,
     sync_stores,
 )
@@ -327,13 +335,22 @@ def _cmd_cache(args) -> int:
 def _cmd_serve_cache(args) -> int:
     try:
         server = serve_cache(
-            args.store, host=args.host, port=args.port, quiet=args.quiet
+            args.store,
+            host=args.host,
+            port=args.port,
+            quiet=args.quiet,
+            fleet=args.fleet,
+            lease_ttl_s=args.lease_ttl_s,
+            max_attempts=args.max_attempts,
+            max_body_bytes=args.max_body_mb * 1024 * 1024,
+            socket_timeout_s=args.socket_timeout_s,
         )
     except ValueError as exc:
         print(f"serve-cache: {exc}", file=sys.stderr)
         return 2
+    fleet_note = " with fleet coordination" if args.fleet else ""
     print(
-        f"serving {args.store} at {server.url} (Ctrl-C to stop)",
+        f"serving {args.store} at {server.url}{fleet_note} (Ctrl-C to stop)",
         flush=True,
     )
     try:
@@ -343,6 +360,81 @@ def _cmd_serve_cache(args) -> int:
     finally:
         server.stop()
     return 0
+
+
+def _cmd_worker(args) -> int:
+    try:
+        store = _open_cli_store(
+            args.cache_url or args.coordinator, args.cache_dir
+        )
+    except (StoreError, ValueError) as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+
+    def progress(event, job):
+        if args.quiet:
+            return
+        what = job["params"].get("benchmark") or job["params"].get("engine") or ""
+        print(
+            f"{event:8s} {job['kind']:9s} "
+            f"{job['params'].get('topology', '')} {what} "
+            f"({job['key'][:12]})",
+            flush=True,
+        )
+
+    try:
+        stats = run_worker(
+            args.coordinator,
+            store,
+            worker_id=args.worker_id,
+            batch_size=args.batch_size,
+            poll_s=args.poll_s,
+            timeout_s=args.timeout_s,
+            exit_when_idle=args.exit_when_idle,
+            install_signal_handler=True,
+            progress=None if args.quiet else progress,
+        )
+    except (StoreError, FleetError) as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
+    how = "drained (SIGTERM)" if stats.drained else "fleet finished"
+    print(
+        f"worker {stats.worker}: {how}; {stats.computed} jobs computed, "
+        f"{stats.cached} cached, {stats.failed} failed, "
+        f"{stats.released} released, {stats.wall_s:.1f}s",
+        flush=True,
+    )
+    return 0 if stats.failed == 0 else 1
+
+
+def _cmd_fleet(args) -> int:
+    client = FleetClient(args.coordinator)
+    try:
+        status = client.status()
+    except (StoreError, FleetError) as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 1
+    counts = status["counts"]
+    print(
+        f"fleet at {args.coordinator}: {counts['total']} jobs "
+        f"({counts['done']} done, {counts['leased']} leased, "
+        f"{counts['ready']} ready, {counts['pending']} pending, "
+        f"{counts['failed']} failed); lease TTL "
+        f"{status['lease_ttl_s']:g}s, {status['max_attempts']} attempts/job"
+    )
+    for worker, seen_s in status["workers"].items():
+        print(f"  worker {worker}: last seen {seen_s:.1f}s ago")
+    if status["failures"]:
+        print(f"  {len(status['failures'])} failure-ledger entries:")
+        for entry in status["failures"][-args.failures :]:
+            print(
+                f"    {entry['error_type']}: {entry['kind']} "
+                f"{entry['key'][:12]} attempt {entry['attempt']} "
+                f"({entry['error']})"
+            )
+    return 0 if counts["failed"] == 0 else 1
 
 
 def _parse_shard(text: str) -> tuple:
@@ -369,6 +461,9 @@ def _cmd_sweep(args) -> int:
     spec = sweep_spec(args.topologies, args.benchmarks, args.engines, eval_config)
     cache_dir = None if args.no_cache else args.cache_dir
     cache_url = None if args.no_cache else args.cache_url
+
+    if args.fleet:
+        return _run_fleet_sweep_cmd(args, spec, cache_dir, cache_url)
 
     state = {"done": 0}
 
@@ -430,6 +525,83 @@ def _cmd_sweep(args) -> int:
         f"sweep {result.manifest['run_id']}: {len(result.cells)} cells, "
         f"{stats.computed} jobs computed, {stats.cached} cached, "
         f"{stats.wall_s:.1f}s"
+    )
+    print(f"results: {sink.results_path}")
+    print(f"manifest: {sink.manifest_path}")
+    return 0
+
+
+def _run_fleet_sweep_cmd(args, spec, cache_dir, cache_url) -> int:
+    """``repro sweep --fleet URL``: enqueue, watch and merge a fleet run."""
+    if args.shard is not None:
+        print(
+            "sweep: --shard and --fleet are mutually exclusive (the "
+            "coordinator schedules dynamically)",
+            file=sys.stderr,
+        )
+        return 2
+
+    last = {"line": None}
+
+    def progress(status):
+        if args.quiet:
+            return
+        counts = status["counts"]
+        line = (
+            f"fleet: {counts['done']}/{counts['total']} done, "
+            f"{counts['leased']} leased, {counts['ready']} ready, "
+            f"{counts['failed']} failed, "
+            f"{len(status['workers'])} workers"
+        )
+        if line != last["line"]:
+            last["line"] = line
+            print(line, flush=True)
+
+    try:
+        result = run_fleet_sweep(
+            spec,
+            args.fleet,
+            cache_dir=cache_dir,
+            cache_url=cache_url or args.fleet,
+            poll_s=args.poll_s,
+            progress=progress,
+        )
+    except FleetError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        for entry in exc.failures[-5:]:
+            print(
+                f"  {entry['error_type']}: {entry['kind']} "
+                f"{entry['key'][:12]} ({entry['error']})",
+                file=sys.stderr,
+            )
+        return 1
+    except StoreError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 1
+
+    if args.out:
+        out_dir = args.out
+    elif cache_dir is not None:
+        out_dir = os.path.join(cache_dir, "runs", result.manifest["run_id"])
+    else:
+        out_dir = f"repro-sweep-{result.manifest['run_id']}"
+    sink = RunSink(out_dir)
+    sink.write_results(result.rows)
+    sink.write_manifest(result.manifest)
+
+    if args.table:
+        cells = cells_from_sweep(result.cells)
+        print(
+            format_fig8(
+                cells, list(args.topologies), list(args.benchmarks), list(args.engines)
+            )
+        )
+    stats = result.stats
+    workers = result.manifest["fleet"]["workers"]
+    print(
+        f"fleet sweep {result.manifest['run_id']}: {len(result.cells)} "
+        f"cells, {stats.computed} jobs computed, {stats.cached} cached "
+        f"by {len(workers)} workers, {stats.wall_s:.1f}s"
     )
     print(f"results: {sink.results_path}")
     print(f"manifest: {sink.manifest_path}")
@@ -592,6 +764,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--table", action="store_true", help="print the Fig. 8 table"
     )
     sweep.add_argument("--quiet", action="store_true", help="suppress per-job progress")
+    sweep.add_argument(
+        "--fleet",
+        default=None,
+        metavar="URL",
+        help="run the sweep on a worker fleet: enqueue the job DAG on "
+        "this repro serve-cache --fleet coordinator, watch until the "
+        "workers finish, and merge their completions into one "
+        "diff-compatible manifest (see docs/fleet.md)",
+    )
+    sweep.add_argument(
+        "--poll-s",
+        type=float,
+        default=1.0,
+        help="fleet status poll interval (only with --fleet)",
+    )
 
     store_help = (
         "store URL: dir:PATH (one JSON file per artifact, the "
@@ -692,6 +879,131 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request logging"
     )
+    serve.add_argument(
+        "--fleet",
+        action="store_true",
+        help="attach a fleet coordinator: enables the /v1/fleet "
+        "work-stealing endpoints repro worker and repro sweep --fleet "
+        "speak (see docs/fleet.md)",
+    )
+    serve.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=60.0,
+        help="seconds a worker may go without a heartbeat before its "
+        "leased jobs are re-queued (default 60)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="lease grants per job before it is failed permanently "
+        "(default 3)",
+    )
+    serve.add_argument(
+        "--max-body-mb",
+        type=int,
+        default=64,
+        help="largest accepted request body in MiB; bigger uploads get "
+        "HTTP 413 (default 64)",
+    )
+    serve.add_argument(
+        "--socket-timeout-s",
+        type=float,
+        default=60.0,
+        help="per-connection socket timeout; a stalled client is "
+        "disconnected instead of pinning a handler thread (default 60)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="pull and execute leased fleet jobs from a coordinator",
+        description="Run the pull-execute-heartbeat loop against a "
+        "repro serve-cache --fleet coordinator: lease ready jobs, "
+        "execute them through the standard stage runners, write "
+        "artifacts to the shared store, report completions.  SIGTERM "
+        "drains gracefully (the in-flight job finishes, unstarted "
+        "leases are handed back); SIGKILL just costs one lease TTL — "
+        "the coordinator re-queues the worker's jobs.  See "
+        "docs/fleet.md.",
+    )
+    worker.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="the repro serve-cache --fleet URL to pull work from",
+    )
+    worker.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="URL",
+        help="artifact store to read deps from / write results to "
+        "(default: the coordinator's own artifact endpoints)",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="tier the store behind this local directory (faster "
+        "re-reads; degraded writes land here during outages)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker name (default: host-pid-random)",
+    )
+    worker.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="jobs leased per round (default 1)",
+    )
+    worker.add_argument(
+        "--poll-s",
+        type=float,
+        default=1.0,
+        help="idle poll interval when no job is ready (default 1s)",
+    )
+    worker.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="wall-clock budget per job attempt (default: unbounded)",
+    )
+    worker.add_argument(
+        "--exit-when-idle",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="exit once the coordinator reports no outstanding work "
+        "(--no-exit-when-idle keeps serving until SIGTERM)",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress"
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="inspect a fleet coordinator's progress and workers",
+        description="Query a repro serve-cache --fleet coordinator's "
+        "/v1/fleet/status: per-state job counts, the workers that "
+        "reported in, and the tail of the failure ledger (failed "
+        "attempts and expired leases).",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="print job counts, workers and recent failures"
+    )
+    fleet_status.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="the repro serve-cache --fleet URL to query",
+    )
+    fleet_status.add_argument(
+        "--failures",
+        type=int,
+        default=5,
+        help="how many trailing failure-ledger entries to print",
+    )
     return parser
 
 
@@ -705,6 +1017,8 @@ _HANDLERS = {
     "diff": _cmd_diff,
     "cache": _cmd_cache,
     "serve-cache": _cmd_serve_cache,
+    "worker": _cmd_worker,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -13,14 +13,25 @@ manifests for incremental-sweep workflows
 (:mod:`~repro.orchestration.diff`).  :mod:`~repro.orchestration.sweep`
 ties it together behind :func:`run_sweep`; the evaluation harness and
 the ``repro sweep`` / ``repro tables`` / ``repro diff`` /
-``repro cache`` / ``repro serve-cache`` CLI are thin clients.  See
-``docs/orchestration.md``, ``docs/storage.md`` and ``docs/tables.md``.
+``repro cache`` / ``repro serve-cache`` CLI are thin clients.
+
+For cross-machine fault tolerance, a lease-based work-stealing
+scheduler (:mod:`~repro.orchestration.coordinator`) rides on the cache
+server's ``/v1/fleet`` endpoints, ``repro worker`` processes pull
+leased job batches through :mod:`~repro.orchestration.worker`, and
+:func:`run_fleet_sweep` plans, enqueues and watches a whole fleet
+sweep — with bounded retry/backoff on every remote store call and
+graceful degradation of tiered stores underneath.  See
+``docs/orchestration.md``, ``docs/storage.md``, ``docs/fleet.md`` and
+``docs/tables.md``.
 """
 
 from repro.orchestration.backends import (
+    DEFAULT_RETRY_POLICY,
     ArtifactEntry,
     DirBackend,
     RemoteHTTPBackend,
+    RetryPolicy,
     SqliteBackend,
     StoreBackend,
     StoreError,
@@ -28,9 +39,16 @@ from repro.orchestration.backends import (
     SyncStats,
     TieredBackend,
     backend_from_url,
+    retry_call,
     sync_stores,
 )
 from repro.orchestration.cache_server import CacheServer, serve_cache
+from repro.orchestration.coordinator import (
+    FleetClient,
+    FleetCoordinator,
+    FleetError,
+    serialize_graph,
+)
 from repro.orchestration.diff import (
     RunDiff,
     diff_runs,
@@ -62,19 +80,31 @@ from repro.orchestration.sweep import (
     SweepResult,
     SweepSpec,
     plan_sweep,
+    run_fleet_sweep,
     run_sweep,
+)
+from repro.orchestration.worker import (
+    DependencyUnavailable,
+    WorkerStats,
+    run_worker,
 )
 
 __all__ = [
     "ArtifactEntry",
     "ArtifactStore",
     "CacheServer",
+    "DEFAULT_RETRY_POLICY",
+    "DependencyUnavailable",
     "DirBackend",
+    "FleetClient",
+    "FleetCoordinator",
+    "FleetError",
     "Job",
     "JobFailure",
     "JobGraph",
     "JobTimeout",
     "RemoteHTTPBackend",
+    "RetryPolicy",
     "RunDiff",
     "RunSink",
     "RunStats",
@@ -88,6 +118,7 @@ __all__ = [
     "SyncStats",
     "TieredBackend",
     "TieredStore",
+    "WorkerStats",
     "backend_from_url",
     "config_from_dict",
     "config_to_dict",
@@ -101,8 +132,12 @@ __all__ = [
     "plan_sweep",
     "read_jsonl",
     "resolve_store",
+    "retry_call",
+    "run_fleet_sweep",
     "run_jobs",
     "run_sweep",
+    "run_worker",
+    "serialize_graph",
     "serve_cache",
     "sync_stores",
 ]

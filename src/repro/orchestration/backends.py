@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import sqlite3
 import tempfile
 import threading
@@ -43,9 +44,10 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 
 class StoreError(RuntimeError):
@@ -59,6 +61,76 @@ class StoreUnavailable(StoreError):
     cache server must fail a resume loudly, not trigger a silent fleet
     recomputation of every artifact.
     """
+
+
+#: HTTP statuses treated as transient server trouble, worth retrying.
+RETRYABLE_HTTP_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for transient faults.
+
+    ``attempts`` is the *total* number of tries (first call included);
+    the delay before the n-th retry is ``base_delay_s * 2**(n-1)``
+    capped at ``max_delay_s``, then shrunk by up to ``jitter`` of itself
+    (decorrelated jitter: a fleet of workers hammered by the same outage
+    must not retry in lockstep).  ``attempts=1`` disables retrying.
+    """
+
+    attempts: int = 5
+    base_delay_s: float = 0.1
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, failures: int, rng: random.Random) -> float:
+        """The sleep before the next try after ``failures`` failed tries."""
+        delay = min(self.max_delay_s, self.base_delay_s * 2 ** (failures - 1))
+        if self.jitter:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+
+#: The default transient-fault budget for remote stores and fleet RPCs.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def retry_call(
+    operation: Callable,
+    policy: Optional[RetryPolicy] = None,
+    transient: tuple = (StoreUnavailable,),
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[Callable] = None,
+) -> object:
+    """Run ``operation()`` under ``policy``, retrying transient failures.
+
+    Exceptions in ``transient`` are swallowed and retried with backoff
+    until the policy's attempt budget is exhausted, then re-raised —
+    so callers still see :class:`StoreUnavailable`, just later and only
+    for genuinely persistent outages.  Any other exception propagates
+    immediately.  ``on_retry(failures, exc)`` is an observability hook
+    (the worker loop counts transient faults through it).
+    """
+    policy = policy or DEFAULT_RETRY_POLICY
+    rng = rng or random.Random()
+    failures = 0
+    while True:
+        try:
+            return operation()
+        except transient as exc:
+            failures += 1
+            if on_retry is not None:
+                on_retry(failures, exc)
+            if failures >= policy.attempts:
+                raise
+            sleep(policy.delay_s(failures, rng))
 
 
 @dataclass(frozen=True)
@@ -296,11 +368,30 @@ class RemoteHTTPBackend(StoreBackend):
     Connection-level failures raise :class:`StoreUnavailable` (a flaky
     server must not silently look like an empty cache); HTTP 404 is the
     one *expected* error and maps to ``None`` / ``False``.
+
+    Transient faults — connection resets, timeouts, and the 5xx / 429
+    statuses in :data:`RETRYABLE_HTTP_STATUSES` — are retried under
+    ``retry`` (bounded exponential backoff with jitter; see
+    :class:`RetryPolicy`), so :class:`StoreUnavailable` surfaces only
+    once the whole budget is exhausted: a dropped TCP connection or one
+    503 from a busy cache server costs a short sleep, not a sweep.
+    ``transient_failures`` counts the faults absorbed this way.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retry = retry or DEFAULT_RETRY_POLICY
+        self.transient_failures = 0
+        self._sleep = sleep
+        self._rng = rng or random.Random()
 
     def _artifact_url(self, kind: str, key: str) -> str:
         return (
@@ -309,12 +400,13 @@ class RemoteHTTPBackend(StoreBackend):
             f"{urllib.parse.quote(key, safe='')}"
         )
 
-    def _request(
+    def _request_once(
         self,
         url: str,
         method: str = "GET",
         body: Optional[bytes] = None,
     ) -> Tuple[int, bytes]:
+        """One HTTP round trip; connection faults raise StoreUnavailable."""
         request = urllib.request.Request(url, data=body, method=method)
         if body is not None:
             request.add_header("Content-Type", "application/json")
@@ -330,6 +422,34 @@ class RemoteHTTPBackend(StoreBackend):
             raise StoreUnavailable(
                 f"cache server {self.base_url} unreachable: {exc}"
             ) from exc
+
+    def _request(
+        self,
+        url: str,
+        method: str = "GET",
+        body: Optional[bytes] = None,
+    ) -> Tuple[int, bytes]:
+        """An HTTP round trip with the transient-fault retry budget."""
+        failures = 0
+        while True:
+            try:
+                status, payload = self._request_once(url, method, body)
+            except StoreUnavailable:
+                self.transient_failures += 1
+                failures += 1
+                if failures >= self.retry.attempts:
+                    raise
+            else:
+                if status not in RETRYABLE_HTTP_STATUSES:
+                    return status, payload
+                self.transient_failures += 1
+                failures += 1
+                if failures >= self.retry.attempts:
+                    raise StoreUnavailable(
+                        f"cache server {self.base_url} still failing "
+                        f"(HTTP {status}) after {failures} attempts"
+                    )
+            self._sleep(self.retry.delay_s(failures, self._rng))
 
     def get_text(self, kind: str, key: str) -> Optional[str]:
         status, body = self._request(self._artifact_url(kind, key))
@@ -413,37 +533,107 @@ class TieredBackend(StoreBackend):
     ``has`` consults local first, then remote — against an *empty*
     local layer every hit is therefore proof the remote served it,
     which is exactly what the backend-parity acceptance test leans on.
+
+    With ``degrade=True`` (the default) a remote outage that survives
+    the remote's own retry budget no longer aborts the run: reads fall
+    back to local-only misses, writes land in the local layer alone,
+    and each skipped remote operation is counted in ``degraded_reads``
+    / ``degraded_writes`` (with one ``RuntimeWarning`` the first time).
+    The local layer keeps everything, so once the remote is back a
+    ``repro cache push`` / :func:`sync_stores` pass re-converges the
+    fleet cache — results are never wrong, only less shared.  Pass
+    ``degrade=False`` to keep the strict fail-fast behavior.
     """
 
-    def __init__(self, local: StoreBackend, remote: StoreBackend) -> None:
+    def __init__(
+        self,
+        local: StoreBackend,
+        remote: StoreBackend,
+        degrade: bool = True,
+    ) -> None:
         self.local = local
         self.remote = remote
+        self.degrade = degrade
+        self.degraded_reads = 0
+        self.degraded_writes = 0
+        self._warned = False
+
+    @property
+    def degraded_ops(self) -> int:
+        """Remote operations skipped because the remote was unreachable."""
+        return self.degraded_reads + self.degraded_writes
+
+    def _remote_down(self, write: bool, exc: StoreUnavailable) -> None:
+        if write:
+            self.degraded_writes += 1
+        else:
+            self.degraded_reads += 1
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"remote store {self.remote.describe()} unreachable "
+                f"({exc}); degrading to local-only operation — re-sync "
+                "with `repro cache push` once it is back",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def get_text(self, kind: str, key: str) -> Optional[str]:
         text = self.local.get_text(kind, key)
         if text is not None:
             return text
-        text = self.remote.get_text(kind, key)
+        try:
+            text = self.remote.get_text(kind, key)
+        except StoreUnavailable as exc:
+            if not self.degrade:
+                raise
+            self._remote_down(write=False, exc=exc)
+            return None
         if text is not None:
             self.local.put_text(kind, key, text)
         return text
 
     def put_text(self, kind: str, key: str, text: str) -> None:
         self.local.put_text(kind, key, text)
-        self.remote.put_text(kind, key, text)
+        try:
+            self.remote.put_text(kind, key, text)
+        except StoreUnavailable as exc:
+            if not self.degrade:
+                raise
+            self._remote_down(write=True, exc=exc)
 
     def has(self, kind: str, key: str) -> bool:
-        return self.local.has(kind, key) or self.remote.has(kind, key)
+        if self.local.has(kind, key):
+            return True
+        try:
+            return self.remote.has(kind, key)
+        except StoreUnavailable as exc:
+            if not self.degrade:
+                raise
+            self._remote_down(write=False, exc=exc)
+            return False
 
     def entries(self) -> List[ArtifactEntry]:
-        merged = {(e.kind, e.key): e for e in self.remote.entries()}
+        try:
+            merged = {(e.kind, e.key): e for e in self.remote.entries()}
+        except StoreUnavailable as exc:
+            if not self.degrade:
+                raise
+            self._remote_down(write=False, exc=exc)
+            merged = {}
         for entry in self.local.entries():
             merged[(entry.kind, entry.key)] = entry
         return [merged[pair] for pair in sorted(merged)]
 
     def delete(self, kind: str, key: str) -> bool:
         local = self.local.delete(kind, key)
-        remote = self.remote.delete(kind, key)
+        try:
+            remote = self.remote.delete(kind, key)
+        except StoreUnavailable as exc:
+            if not self.degrade:
+                raise
+            self._remote_down(write=True, exc=exc)
+            remote = False
         return local or remote
 
     def close(self) -> None:

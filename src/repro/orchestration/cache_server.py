@@ -14,14 +14,25 @@ hit.  The protocol is deliberately minimal JSON-over-HTTP:
 ``DELETE /v1/artifact/<kind>/<key>``  remove one artifact (204 / 404)
 ``GET  /v1/list``                     ``{"entries": [{kind,key,size,mtime}]}``
 ``GET  /v1/stats``                    ``{"entries": N, "bytes": M}``
-``GET  /v1/ping``                     ``{"ok": true, "store": "<url>"}``
+``GET  /v1/ping``                     ``{"ok": true, "store": "<url>", "fleet": bool}``
 ====================================  =======================================
+
+With a :class:`~repro.orchestration.coordinator.FleetCoordinator`
+attached (``repro serve-cache --fleet``) the server additionally speaks
+the fleet work-stealing protocol on ``/v1/fleet/...`` (``POST enqueue /
+lease / heartbeat / complete``, ``GET status`` — see
+:mod:`repro.orchestration.coordinator` and ``docs/fleet.md``), so one
+process hands out job leases *and* serves the artifacts those jobs
+read and write.
 
 Artifact text passes through the server verbatim — it never re-encodes
 payloads — so a cache populated over HTTP is byte-identical to one the
 same backend would have written locally.  The server is a
 :class:`http.server.ThreadingHTTPServer`; both shipped backends are
-thread-safe (atomic renames / a locked WAL connection).  There is no
+thread-safe (atomic renames / a locked WAL connection).  Handler
+threads are protected from abusive or broken clients by a configurable
+request-body cap (HTTP 413) and a per-connection socket timeout, so a
+stalled upload cannot wedge a thread forever.  There is no
 authentication: serve on a trusted network (the typical deployment is
 one lab/CI subnet), or front it with a reverse proxy.  See
 ``docs/storage.md`` for the two-machine walkthrough.
@@ -44,6 +55,24 @@ _SAFE_SEGMENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
 
 #: Refuse absurd artifact uploads rather than buffering them (64 MiB).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Default per-connection socket timeout: a client that stops sending
+#: mid-request is disconnected instead of pinning a handler thread.
+DEFAULT_SOCKET_TIMEOUT_S = 60.0
+
+
+#: POST routes of the fleet protocol → coordinator verb.
+_FLEET_VERBS = {
+    "/v1/fleet/enqueue": "enqueue",
+    "/v1/fleet/lease": "lease",
+    "/v1/fleet/heartbeat": "heartbeat",
+    "/v1/fleet/complete": "complete",
+}
+
+_NO_FLEET = (
+    "fleet endpoints disabled; restart the server with "
+    "`repro serve-cache --fleet`"
+)
 
 
 def _parse_artifact_path(path: str) -> Optional[Tuple[str, str]]:
@@ -68,6 +97,13 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     def backend(self) -> StoreBackend:
         return self.server.backend
 
+    def setup(self) -> None:
+        # Per-connection socket timeout: handle_one_request treats a
+        # timed-out read as "close the connection", so a stalled client
+        # releases its handler thread instead of wedging it.
+        self.timeout = self.server.socket_timeout_s
+        BaseHTTPRequestHandler.setup(self)
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:
             BaseHTTPRequestHandler.log_message(self, format, *args)
@@ -87,12 +123,53 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     def _bad_request(self, message: str) -> None:
         self._send_json(400, {"error": message})
 
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, bounded; sends the error response on None.
+
+        Enforces the server's configurable ``max_body_bytes`` (HTTP 413)
+        alongside the missing/negative Content-Length rejections, so a
+        handler thread never buffers an absurd upload or blocks forever
+        on a length the client will never send.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._bad_request("missing Content-Length")
+            return None
+        if length < 0:
+            # read(-1) would block on the socket until the client
+            # hangs up — refuse instead of tying up a handler thread.
+            self._bad_request("negative Content-Length")
+            return None
+        if length > self.server.max_body_bytes:
+            self._send_json(
+                413,
+                {
+                    "error": f"body of {length} bytes exceeds the "
+                    f"server limit of {self.server.max_body_bytes}"
+                },
+            )
+            return None
+        return self.rfile.read(length)
+
     # -- verbs ------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         if self.path == "/v1/ping":
             self._send_json(
-                200, {"ok": True, "store": self.backend.describe()}
+                200,
+                {
+                    "ok": True,
+                    "store": self.backend.describe(),
+                    "fleet": self.server.coordinator is not None,
+                },
             )
+            return
+        if self.path == "/v1/fleet/status":
+            coordinator = self.server.coordinator
+            if coordinator is None:
+                self._send_json(404, {"error": _NO_FLEET})
+                return
+            self._send_json(200, coordinator.status())
             return
         if self.path == "/v1/list":
             entries = [
@@ -133,20 +210,9 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         if located is None:
             self._bad_request(f"unrecognized path {self.path!r}")
             return
-        try:
-            length = int(self.headers.get("Content-Length", ""))
-        except ValueError:
-            self._bad_request("missing Content-Length")
+        body = self._read_body()
+        if body is None:
             return
-        if length < 0:
-            # read(-1) would block on the socket until the client
-            # hangs up — refuse instead of tying up a handler thread.
-            self._bad_request("negative Content-Length")
-            return
-        if length > MAX_BODY_BYTES:
-            self._send_json(413, {"error": "artifact too large"})
-            return
-        body = self.rfile.read(length)
         try:
             text = body.decode("utf-8")
             json.loads(text)  # validate only; stored verbatim
@@ -155,6 +221,47 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
             return
         self.backend.put_text(*located, text)
         self._send(204)
+
+    def do_POST(self) -> None:  # noqa: N802
+        """The fleet protocol: enqueue / lease / heartbeat / complete."""
+        verb = _FLEET_VERBS.get(self.path)
+        if verb is None:
+            self._bad_request(f"unrecognized path {self.path!r}")
+            return
+        coordinator = self.server.coordinator
+        if coordinator is None:
+            self._send_json(404, {"error": _NO_FLEET})
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            document = json.loads(body.decode("utf-8"))
+            if not isinstance(document, dict):
+                raise ValueError("expected a JSON object")
+        except (UnicodeDecodeError, ValueError):
+            self._bad_request("body is not a JSON object")
+            return
+        try:
+            if verb == "enqueue":
+                reply = coordinator.enqueue(document["jobs"])
+            elif verb == "lease":
+                reply = coordinator.lease(
+                    document["worker"], int(document.get("max_jobs", 1))
+                )
+            elif verb == "heartbeat":
+                reply = coordinator.heartbeat(document["worker"])
+            else:  # complete
+                reply = coordinator.complete(
+                    document["worker"],
+                    document["key"],
+                    document["status"],
+                    error=document.get("error"),
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            self._bad_request(f"invalid fleet request: {exc}")
+            return
+        self._send_json(200, reply)
 
     def do_DELETE(self) -> None:  # noqa: N802
         located = _parse_artifact_path(self.path)
@@ -187,12 +294,19 @@ class CacheServer:
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = True,
+        coordinator=None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        socket_timeout_s: Optional[float] = DEFAULT_SOCKET_TIMEOUT_S,
     ) -> None:
         self.backend = backend
+        self.coordinator = coordinator
         self._httpd = ThreadingHTTPServer((host, port), _CacheRequestHandler)
         self._httpd.daemon_threads = True
         self._httpd.backend = backend
         self._httpd.quiet = quiet
+        self._httpd.coordinator = coordinator
+        self._httpd.max_body_bytes = max_body_bytes
+        self._httpd.socket_timeout_s = socket_timeout_s
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 
@@ -239,8 +353,32 @@ def serve_cache(
     host: str = "127.0.0.1",
     port: int = 8765,
     quiet: bool = False,
+    fleet: bool = False,
+    lease_ttl_s: float = 60.0,
+    max_attempts: int = 3,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    socket_timeout_s: Optional[float] = DEFAULT_SOCKET_TIMEOUT_S,
 ) -> CacheServer:
-    """Open ``store_url`` and return a bound (not yet serving) server."""
+    """Open ``store_url`` and return a bound (not yet serving) server.
+
+    With ``fleet=True`` a fresh
+    :class:`~repro.orchestration.coordinator.FleetCoordinator` (lease
+    TTL ``lease_ttl_s``, per-job budget ``max_attempts``) is attached,
+    enabling the ``/v1/fleet`` work-stealing endpoints.
+    """
+    coordinator = None
+    if fleet:
+        from repro.orchestration.coordinator import FleetCoordinator
+
+        coordinator = FleetCoordinator(
+            lease_ttl_s=lease_ttl_s, max_attempts=max_attempts
+        )
     return CacheServer(
-        backend_from_url(store_url), host=host, port=port, quiet=quiet
+        backend_from_url(store_url),
+        host=host,
+        port=port,
+        quiet=quiet,
+        coordinator=coordinator,
+        max_body_bytes=max_body_bytes,
+        socket_timeout_s=socket_timeout_s,
     )

@@ -322,11 +322,20 @@ def _run_pool(
     A failing job is resubmitted up to ``retries`` times (each failed
     attempt logged in ``stats.failures``) before the run is aborted with
     :class:`JobFailure` — so a transiently flaky *job* costs one
-    resubmission, not the whole sweep.  A worker process dying abruptly
-    (:class:`BrokenExecutor`) breaks the whole pool, which cannot serve
-    further submissions — that aborts immediately with
-    :class:`JobFailure` (carrying the failure log) rather than leaking a
-    raw pool exception from the resubmission.
+    resubmission, not the whole sweep.
+
+    A pool worker dying abruptly (SIGKILL, OOM — surfacing as
+    :class:`BrokenExecutor` / ``BrokenProcessPool``) poisons the whole
+    pool: every in-flight future fails with it, and the pool cannot
+    serve further submissions.  That no longer aborts the run: each
+    in-flight job gets a failure-log entry, the dead pool is torn down
+    and a fresh one built, and the jobs are resubmitted to continue the
+    remaining DAG.  Because the breakage cannot be attributed to one
+    job, every in-flight job's attempt budget is stretched by one grace
+    attempt (``retries + 1`` pool-break failures allowed) — so a
+    ``retries=0`` sweep survives a killed worker, while a job that
+    *deterministically* kills its worker still exhausts the budget and
+    aborts with :class:`JobFailure` instead of rebuilding forever.
 
     With ``timeout_s`` set, each pool worker runs the job through
     :func:`execute_job_with_timeout` — the deadline is enforced inside
@@ -348,51 +357,75 @@ def _run_pool(
         if not unfinished:
             ready.append(job)
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        in_flight = {}
-        ready.reverse()  # pop() from the tail keeps graph order
+    pool = ProcessPoolExecutor(max_workers=workers)
+    in_flight = {}
+    ready.reverse()  # pop() from the tail keeps graph order
 
-        def submit(job):
-            deps = [results[d] for d in job.deps]
-            if timeout_s is None:
-                future = pool.submit(execute_job, job.kind, job.params, deps)
-            else:
-                future = pool.submit(
-                    execute_job_with_timeout,
-                    job.kind,
-                    job.params,
-                    deps,
-                    timeout_s,
-                )
-            in_flight[future] = job
+    def requeue_or_abort(job, exc):
+        """Log one pool-break failure; requeue within the grace budget."""
+        attempts[job.key] = attempts.get(job.key, 0) + 1
+        stats.record_failure(job, exc, attempts[job.key])
+        if attempts[job.key] > retries + 1:
+            raise JobFailure(job, exc, failures=stats.failures) from exc
+        ready.append(job)
 
-        def submit_ready():
-            while ready:
-                job = ready.pop()
+    def rebuild_pool(job, exc):
+        """The pool is poisoned: requeue everything, build a fresh one."""
+        nonlocal pool
+        requeue_or_abort(job, exc)
+        # Every other in-flight future is doomed with the same pool;
+        # requeue them now rather than harvesting N copies of the error.
+        for victim in list(in_flight.values()):
+            requeue_or_abort(victim, exc)
+        in_flight.clear()
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(job):
+        deps = [results[d] for d in job.deps]
+        if timeout_s is None:
+            future = pool.submit(execute_job, job.kind, job.params, deps)
+        else:
+            future = pool.submit(
+                execute_job_with_timeout,
+                job.kind,
+                job.params,
+                deps,
+                timeout_s,
+            )
+        in_flight[future] = job
+
+    def submit_ready():
+        while ready:
+            job = ready.pop()
+            try:
                 submit(job)
-                _notify(progress, job, "start")
+            except BrokenExecutor as exc:
+                # The pool died between wait rounds; rebuild and keep
+                # draining ready — the next submit goes to the new pool.
+                rebuild_pool(job, exc)
+                continue
+            _notify(progress, job, "start")
 
+    try:
         submit_ready()
         while in_flight:
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             newly_ready = []
             for future in done:
-                job = in_flight.pop(future)
+                job = in_flight.pop(future, None)
+                if job is None:
+                    continue  # requeued when an earlier future broke the pool
                 try:
                     payload = future.result()
+                except BrokenExecutor as exc:
+                    rebuild_pool(job, exc)
+                    continue
                 except Exception as exc:
                     attempts[job.key] = attempts.get(job.key, 0) + 1
                     stats.record_failure(job, exc, attempts[job.key])
-                    retryable = attempts[job.key] <= retries and not isinstance(
-                        exc, BrokenExecutor
-                    )
-                    if retryable:
-                        try:
-                            submit(job)
-                        except BrokenExecutor as broken:
-                            raise JobFailure(
-                                job, broken, failures=stats.failures
-                            ) from broken
+                    if attempts[job.key] <= retries:
+                        ready.append(job)  # resubmitted by submit_ready
                         continue
                     for other in in_flight:
                         other.cancel()
@@ -411,3 +444,5 @@ def _run_pool(
             for job in reversed(newly_ready):
                 ready.append(job)
             submit_ready()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

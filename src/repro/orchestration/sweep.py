@@ -25,10 +25,16 @@ seed's transpilation computed by one shard is a cache hit for the next.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.circuits.registry import get_benchmark
+from repro.orchestration.coordinator import (
+    FleetClient,
+    FleetError,
+    serialize_graph,
+)
 from repro.orchestration.executor import RunStats, run_jobs
 from repro.orchestration.jobs import Job, JobGraph, canonical_json
 from repro.orchestration.stages import config_to_dict, noise_to_dict
@@ -318,6 +324,137 @@ def run_sweep(
         "resume": resume,
         "retries": retries,
         "timeout_s": timeout_s,
+        "jobs": stats.to_dict(),
+        "num_cells": len(cells),
+    }
+    return SweepResult(cells=cells, stats=stats, manifest=manifest)
+
+
+def run_fleet_sweep(
+    spec: SweepSpec,
+    coordinator: Union[str, FleetClient],
+    store: Optional[ArtifactStore] = None,
+    cache_dir: Optional[str] = None,
+    cache_url: Optional[str] = None,
+    poll_s: float = 1.0,
+    progress=None,
+    sleep=time.sleep,
+) -> SweepResult:
+    """Run a sweep across a worker fleet; returns the same
+    :class:`SweepResult` a local :func:`run_sweep` would.
+
+    Plans the spec, enqueues the serialized DAG on the ``coordinator``
+    (a ``repro serve-cache --fleet`` URL or a prepared
+    :class:`~repro.orchestration.coordinator.FleetClient` — enqueueing
+    is idempotent, so re-submitting a half-finished sweep just resumes
+    it), then polls ``/v1/fleet/status`` until no job is outstanding.
+    The actual execution happens in ``repro worker`` processes pulling
+    from the same coordinator; because runners are pure functions of
+    (params, canonical dependency payloads), the assembled cells — and
+    therefore ``results.jsonl`` — are bit-identical to a serial
+    uncached run, whatever the fleet did in between.
+
+    ``store`` (or ``cache_url``/``cache_dir``, defaulting to the
+    coordinator's own artifact endpoints) is where the fidelity
+    payloads are read back from.  ``progress`` is called with each
+    status document while watching.
+
+    The returned manifest is ``repro diff``-compatible: its
+    ``jobs.entries`` ledger is the coordinator's completion ledger
+    restricted to this sweep's jobs and normalized to plan order, its
+    ``jobs.failures`` carries every failed attempt *and expired lease*,
+    and a ``fleet`` block records the coordinator URL and the workers
+    that reported in.  If any job exhausted its attempt budget the
+    sweep raises :class:`~repro.orchestration.coordinator.FleetError`
+    with that failure ledger attached.
+    """
+    client = (
+        FleetClient(coordinator) if isinstance(coordinator, str) else coordinator
+    )
+    t0 = time.perf_counter()
+    plan = plan_sweep(spec)
+    plan_keys = {job.key for job in plan.graph.ordered()}
+    client.enqueue(serialize_graph(plan.graph))
+
+    while True:
+        status = client.status()
+        if progress is not None:
+            progress(status)
+        if status["outstanding"] == 0:
+            break
+        sleep(poll_s)
+
+    entries = [e for e in status["entries"] if e["key"] in plan_keys]
+    failures = [f for f in status["failures"] if f["key"] in plan_keys]
+    done_keys = {entry["key"] for entry in entries}
+    lost = [job for job in plan.graph.ordered() if job.key not in done_keys]
+    if lost:
+        raise FleetError(
+            f"fleet sweep failed: {len(lost)} of {len(plan_keys)} jobs "
+            f"failed permanently (first: {lost[0].kind} "
+            f"{lost[0].key[:12]}); see the attached failure ledger",
+            failures=failures,
+        )
+
+    stats = RunStats(total=len(plan_keys))
+    order = {job.key: i for i, job in enumerate(plan.graph.ordered())}
+    for entry in sorted(entries, key=lambda e: order[e["key"]]):
+        slot = stats.by_kind.setdefault(
+            entry["kind"], {"computed": 0, "cached": 0}
+        )
+        if entry["status"] == "cached":
+            stats.cached += 1
+            slot["cached"] += 1
+        else:
+            stats.computed += 1
+            slot["computed"] += 1
+        stats.entries.append(entry)
+    stats.failures = failures
+
+    owns_store = store is None
+    if owns_store:
+        store = resolve_store(
+            cache_url=cache_url or client.base_url, cache_dir=cache_dir
+        )
+    cells = {}
+    try:
+        for cell_id, key in plan.cells.items():
+            payload = store.get("fidelity", key)
+            if payload is None:
+                raise FleetError(
+                    f"fleet store {store.describe()} is missing the "
+                    f"fidelity payload for completed job {key[:12]} — "
+                    "did the workers write to a different store?",
+                    failures=failures,
+                )
+            samples = payload["samples"]
+            if not samples:
+                continue
+            cells[cell_id] = {
+                "mean": sum(samples) / len(samples),
+                "minimum": min(samples),
+                "maximum": max(samples),
+                "samples": samples,
+            }
+    finally:
+        if owns_store:
+            store.close()
+    stats.wall_s = time.perf_counter() - t0
+
+    manifest = {
+        "run_id": spec.spec_hash[:12] + "-fleet",
+        "spec": spec.to_dict(),
+        "shard": None,
+        "workers": 0,
+        "resume": True,
+        "retries": None,
+        "timeout_s": None,
+        "fleet": {
+            "coordinator": client.base_url,
+            "lease_ttl_s": status["lease_ttl_s"],
+            "max_attempts": status["max_attempts"],
+            "workers": status["workers"],
+        },
         "jobs": stats.to_dict(),
         "num_cells": len(cells),
     }

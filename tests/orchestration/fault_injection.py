@@ -1,0 +1,185 @@
+"""Seeded fault injection for the chaos suite (importable, not a test).
+
+Two choreographies the fleet must survive, made deterministic:
+
+* :class:`FlakyBackend` — wraps any
+  :class:`~repro.orchestration.backends.StoreBackend` and raises
+  :class:`~repro.orchestration.backends.StoreUnavailable` on a seeded
+  fraction of operations (optionally after a seeded delay), emulating
+  connection resets / timeouts / 5xx from a remote store.  Same seed →
+  same failure sequence, so a chaos test that passes never flakes.
+
+* :func:`spawn_chaos_worker` / ``_chaos_worker_main`` — run a real
+  ``run_worker`` loop in a child *process* that SIGKILLs itself after a
+  chosen number of completions **while still holding leases**, which is
+  exactly the dead-worker scenario lease expiry exists for (a SIGKILL
+  leaves no atexit, no finally, no drain — the coordinator only learns
+  from the silence).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import sys
+import time
+
+from repro.orchestration.backends import StoreBackend, StoreUnavailable
+
+
+class FlakyBackend(StoreBackend):
+    """A backend that fails a seeded fraction of calls.
+
+    ``failure_rate`` is the per-operation probability of raising
+    :class:`StoreUnavailable` (the transient failure every layer above
+    must absorb); ``delay_s`` optionally sleeps before each *successful*
+    operation to widen race windows.  ``fail_ops`` restricts injection
+    to a subset of ``{"get", "put", "has", "entries", "delete"}``.
+    ``injected`` counts the faults raised, so a test can assert the
+    chaos actually happened.
+    """
+
+    def __init__(
+        self,
+        inner: StoreBackend,
+        failure_rate: float = 0.3,
+        seed: int = 0,
+        fail_ops=("get", "put", "has", "entries", "delete"),
+        delay_s: float = 0.0,
+    ) -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        self.inner = inner
+        self.failure_rate = failure_rate
+        self.fail_ops = frozenset(fail_ops)
+        self.delay_s = delay_s
+        self.injected = 0
+        self.calls = 0
+        self._rng = random.Random(seed)
+
+    def _maybe_fail(self, op: str) -> None:
+        self.calls += 1
+        if op in self.fail_ops and self._rng.random() < self.failure_rate:
+            self.injected += 1
+            raise StoreUnavailable(
+                f"injected transient failure #{self.injected} on {op}"
+            )
+        if self.delay_s:
+            time.sleep(self.delay_s)
+
+    def get_text(self, kind, key):
+        self._maybe_fail("get")
+        return self.inner.get_text(kind, key)
+
+    def put_text(self, kind, key, text):
+        self._maybe_fail("put")
+        self.inner.put_text(kind, key, text)
+
+    def has(self, kind, key):
+        self._maybe_fail("has")
+        return self.inner.has(kind, key)
+
+    def entries(self):
+        self._maybe_fail("entries")
+        return self.inner.entries()
+
+    def delete(self, kind, key):
+        self._maybe_fail("delete")
+        return self.inner.delete(kind, key)
+
+    def close(self):
+        self.inner.close()
+
+    def describe(self):
+        return (
+            f"flaky({self.inner.describe()}, "
+            f"rate={self.failure_rate:g}, injected={self.injected})"
+        )
+
+
+def _chaos_worker_main(argv) -> int:
+    """Child-process entry point: a worker that dies mid-fleet.
+
+    ``argv``: coordinator URL, worker id, batch size, kill-after count
+    (-1 = run to completion), store failure rate, seed.  The worker
+    leases real jobs from the coordinator and executes them against the
+    coordinator's artifact endpoints wrapped in a :class:`FlakyBackend`;
+    after ``kill_after`` completions it SIGKILLs itself **between**
+    completions, i.e. while still holding any other leased jobs — no
+    drain, no release, exactly like a machine losing power.
+    """
+    from repro.orchestration.backends import RemoteHTTPBackend, RetryPolicy
+    from repro.orchestration.store import ArtifactStore
+    from repro.orchestration.worker import run_worker
+
+    url, worker_id, batch, kill_after, rate, seed = (
+        argv[0], argv[1], int(argv[2]), int(argv[3]), float(argv[4]),
+        int(argv[5]),
+    )
+    backend = FlakyBackend(
+        RemoteHTTPBackend(url, retry=RetryPolicy(attempts=1)),
+        failure_rate=rate,
+        seed=seed,
+    )
+    store = ArtifactStore(backend=backend)
+    finished = {"count": 0}
+
+    def progress(event, job):
+        if event in ("computed", "cached"):
+            finished["count"] += 1
+            if kill_after >= 0 and finished["count"] >= kill_after:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    stats = run_worker(
+        url,
+        store,
+        worker_id=worker_id,
+        batch_size=batch,
+        poll_s=0.05,
+        # Fast, deterministic absorption of the injected faults: the
+        # budget outlasts any seeded failure streak, with no real sleep.
+        store_retry=RetryPolicy(attempts=30, base_delay_s=0.0, max_delay_s=0.0),
+        progress=progress,
+    )
+    return 0 if stats.failed == 0 else 1
+
+
+def spawn_chaos_worker(
+    url: str,
+    worker_id: str,
+    batch_size: int = 1,
+    kill_after: int = -1,
+    failure_rate: float = 0.0,
+    seed: int = 0,
+):
+    """Start ``_chaos_worker_main`` in a real child process.
+
+    Returns the :class:`subprocess.Popen`; the caller waits or inspects
+    ``returncode`` (``-SIGKILL`` for a self-killed worker).
+    """
+    import subprocess
+
+    return subprocess.Popen(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            url,
+            worker_id,
+            str(batch_size),
+            str(kill_after),
+            str(failure_rate),
+            str(seed),
+        ],
+        env={**os.environ, "PYTHONPATH": _src_path()},
+    )
+
+
+def _src_path() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+if __name__ == "__main__":
+    sys.exit(_chaos_worker_main(sys.argv[1:]))

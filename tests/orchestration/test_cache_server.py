@@ -15,6 +15,7 @@ import pytest
 from repro.orchestration import (
     CacheServer,
     DirBackend,
+    FleetCoordinator,
     RemoteHTTPBackend,
     SqliteBackend,
 )
@@ -144,3 +145,131 @@ def test_ephemeral_port_allocation(tmp_path):
     finally:
         first.stop()
         second.stop()
+
+
+def test_put_rejects_oversized_body(tmp_path):
+    # A configurable ceiling so one absurd upload can't make a handler
+    # thread buffer gigabytes; the refusal is a clean 413, not a hang.
+    backend = DirBackend(str(tmp_path / "small"))
+    with CacheServer(backend, max_body_bytes=64) as server:
+        huge = b'{"pad": "' + b"x" * 200 + b'"}'
+        status, body = _raw(
+            f"{server.url}/v1/artifact/gp/key", method="PUT", body=huge
+        )
+        assert status == 413
+        assert b"exceeds the server limit" in body
+        assert not backend.has("gp", "key")
+        # A body under the ceiling still lands.
+        status, _ = _raw(
+            f"{server.url}/v1/artifact/gp/key", method="PUT", body=b'{"x": 1}'
+        )
+        assert status == 204
+        assert backend.get_text("gp", "key") == '{"x": 1}'
+    backend.close()
+
+
+def test_stalled_connection_is_dropped_not_wedged(tmp_path):
+    # A client that connects and never sends a request must not pin a
+    # handler thread forever: the per-connection timeout closes it.
+    import socket
+    import time
+
+    backend = DirBackend(str(tmp_path / "served"))
+    with CacheServer(backend, socket_timeout_s=0.3) as server:
+        stalled = socket.create_connection((server.host, server.port))
+        stalled.settimeout(5.0)
+        deadline = time.monotonic() + 5.0
+        try:
+            assert stalled.recv(1) == b""  # server hung up on us
+            assert time.monotonic() < deadline
+        finally:
+            stalled.close()
+        # The server is still healthy for well-behaved clients.
+        healthy = RemoteHTTPBackend(server.url)
+        healthy.put_text("gp", "k", '{"x": 1}')
+        assert healthy.get_text("gp", "k") == '{"x": 1}'
+        healthy.close()
+    backend.close()
+
+
+def _post(url, document):
+    body = json.dumps(document).encode("utf-8")
+    return _raw(url, method="POST", body=body,
+                headers={"Content-Type": "application/json"})
+
+
+def test_ping_reports_fleet_flag(server, client):
+    # The default fixture server has no coordinator attached.
+    assert client.ping()["fleet"] is False
+
+
+def test_fleet_endpoints_disabled_without_coordinator(server):
+    status, body = _post(f"{server.url}/v1/fleet/lease", {"worker": "w"})
+    assert status == 404
+    assert b"fleet endpoints disabled" in body
+    status, body = _raw(f"{server.url}/v1/fleet/status")
+    assert status == 404
+    assert b"fleet endpoints disabled" in body
+
+
+def test_fleet_protocol_over_http(tmp_path):
+    backend = DirBackend(str(tmp_path / "served"))
+    coordinator = FleetCoordinator(lease_ttl_s=60.0, max_attempts=3)
+    with CacheServer(backend, coordinator=coordinator) as server:
+        client = RemoteHTTPBackend(server.url)
+        assert client.ping()["fleet"] is True
+
+        job = {"kind": "gp", "key": "k0", "params": {}, "deps": [],
+               "dep_kinds": []}
+        status, body = _post(f"{server.url}/v1/fleet/enqueue", {"jobs": [job]})
+        assert status == 200
+        assert json.loads(body)["accepted"] == 1
+
+        status, body = _post(
+            f"{server.url}/v1/fleet/lease", {"worker": "w", "max_jobs": 2}
+        )
+        assert status == 200
+        leased = json.loads(body)["jobs"]
+        assert [j["key"] for j in leased] == ["k0"]
+
+        status, body = _post(f"{server.url}/v1/fleet/heartbeat", {"worker": "w"})
+        assert status == 200
+        assert json.loads(body)["keys"] == ["k0"]
+
+        status, body = _post(
+            f"{server.url}/v1/fleet/complete",
+            {"worker": "w", "key": "k0", "status": "computed"},
+        )
+        assert status == 200
+
+        status, body = _raw(f"{server.url}/v1/fleet/status")
+        assert status == 200
+        counts = json.loads(body)["counts"]
+        assert counts["done"] == 1
+        assert json.loads(body)["outstanding"] == 0
+        client.close()
+    backend.close()
+
+
+def test_invalid_fleet_requests_are_400(tmp_path):
+    backend = DirBackend(str(tmp_path / "served"))
+    coordinator = FleetCoordinator()
+    with CacheServer(backend, coordinator=coordinator) as server:
+        # Missing required field.
+        status, body = _post(f"{server.url}/v1/fleet/lease", {})
+        assert status == 400
+        assert b"invalid fleet request" in body
+        # Body that is not a JSON object at all.
+        status, body = _raw(
+            f"{server.url}/v1/fleet/lease", method="POST", body=b"[1, 2]"
+        )
+        assert status == 400
+        assert b"not a JSON object" in body
+        # Semantically invalid verb arguments surface as 400, not 500.
+        status, body = _post(
+            f"{server.url}/v1/fleet/complete",
+            {"worker": "w", "key": "ghost", "status": "computed"},
+        )
+        assert status == 400
+        assert b"invalid fleet request" in body
+    backend.close()

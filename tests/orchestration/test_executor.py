@@ -168,35 +168,77 @@ def test_pool_exhausted_retries_raise_with_failure_log():
     assert [f["attempt"] for f in info.value.failures] == [1, 2]
 
 
-def test_broken_pool_aborts_with_jobfailure(monkeypatch):
-    """A worker dying abruptly breaks the pool: the run must abort with
-    JobFailure (carrying the failure log), not resubmit into the broken
-    pool and leak a raw BrokenExecutor."""
-    from concurrent.futures import Future
-    from concurrent.futures.process import BrokenProcessPool
+class _FakeBrokenPool:
+    """A pool whose workers die abruptly: every future (or, after
+    ``break_submits`` more calls, every submission) raises
+    BrokenProcessPool — the SIGKILL/OOM failure mode, minus the corpse."""
 
-    class FakeBrokenPool:
-        def __init__(self, max_workers):
-            pass
+    instances = 0  # rebuilt-pool counter, reset per test
 
-        def __enter__(self):
-            return self
+    def __init__(self, max_workers):
+        type(self).instances += 1
 
-        def __exit__(self, *exc_info):
-            return False
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
 
-        def submit(self, fn, *args):
-            future = Future()
-            future.set_exception(BrokenProcessPool("worker died abruptly"))
-            return future
+        future = Future()
+        future.set_exception(BrokenProcessPool("worker died abruptly"))
+        return future
 
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def test_always_broken_pool_aborts_with_jobfailure(monkeypatch):
+    """A pool that breaks on every rebuild must exhaust the job's attempt
+    budget and abort with JobFailure (carrying the failure log) — not
+    leak a raw BrokenExecutor, and not rebuild pools forever."""
+    _FakeBrokenPool.instances = 0
     monkeypatch.setattr(
-        executor_module, "ProcessPoolExecutor", FakeBrokenPool
+        executor_module, "ProcessPoolExecutor", _FakeBrokenPool
     )
     with pytest.raises(JobFailure) as info:
         run_jobs(_bad_job_graph(), ArtifactStore(), workers=2, retries=3)
-    assert info.value.failures
+    # retries + 1 grace attempts were all granted and all logged.
+    assert [f["attempt"] for f in info.value.failures] == [1, 2, 3, 4, 5]
     assert info.value.failures[0]["error_type"] == "BrokenProcessPool"
+    # Each break tore the dead pool down and built a fresh one.
+    assert _FakeBrokenPool.instances == 5
+
+
+def test_broken_pool_is_rebuilt_and_run_continues(monkeypatch):
+    """One abrupt worker death must cost a failure-log entry and a pool
+    rebuild, not the sweep: the job is resubmitted to a fresh pool and
+    the remaining DAG completes even with retries=0."""
+    from concurrent.futures import ProcessPoolExecutor as RealPool
+
+    class BreaksOnce(_FakeBrokenPool):
+        def __init__(self, max_workers):
+            super().__init__(max_workers)
+            self._real = None if type(self).instances == 1 else RealPool(
+                max_workers=max_workers
+            )
+
+        def submit(self, fn, *args):
+            if self._real is None:
+                return super().submit(fn, *args)
+            return self._real.submit(fn, *args)
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            if self._real is not None:
+                self._real.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+    BreaksOnce.instances = 0
+    monkeypatch.setattr(executor_module, "ProcessPoolExecutor", BreaksOnce)
+    graph = _small_graph()
+    results, stats = run_jobs(graph, ArtifactStore(), workers=2)
+    assert len(results) == len(graph)
+    assert stats.computed == len(graph)
+    assert BreaksOnce.instances == 2  # the dead pool plus its replacement
+    # Every job in flight when the pool broke left a ledger entry.
+    assert stats.failures
+    assert {f["error_type"] for f in stats.failures} == {"BrokenProcessPool"}
 
 
 def test_progress_events_cover_every_job():

@@ -1,0 +1,526 @@
+"""Fleet coordination: lease lifecycle, worker loop, end-to-end sweeps.
+
+The scheduling invariants the coordinator promises (no job leased twice
+concurrently, no job ever lost, failed DAG prefixes cascade) are pinned
+three ways: direct unit tests with a fake clock, a hypothesis property
+test over random lease/expire/complete interleavings, and an in-process
+two-worker fleet over a real HTTP server compared bit-for-bit against a
+serial run.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import QGDPConfig
+from repro.orchestration import (
+    ArtifactStore,
+    CacheServer,
+    FleetClient,
+    FleetCoordinator,
+    FleetError,
+    Job,
+    JobGraph,
+    RetryPolicy,
+    SqliteBackend,
+    SweepSpec,
+    config_to_dict,
+    plan_sweep,
+    run_fleet_sweep,
+    run_sweep,
+    run_worker,
+    serialize_graph,
+)
+
+_CFG = config_to_dict(QGDPConfig(gp_iterations=40))
+
+
+class FakeClock:
+    """A controllable monotonic clock for lease-expiry tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _chain_jobs(n=3):
+    """n serialized jobs: job i depends on job i-1 (keys 'k0'..'k{n-1}')."""
+    rows = []
+    for i in range(n):
+        rows.append(
+            {
+                "kind": "gp",
+                "key": f"k{i}",
+                "params": {"topology": f"t{i}"},
+                "deps": [f"k{i - 1}"] if i else [],
+                "dep_kinds": ["gp"] if i else [],
+            }
+        )
+    return rows
+
+
+def _fan_jobs(n=4):
+    """n independent jobs (no deps)."""
+    return [
+        {"kind": "gp", "key": f"f{i}", "params": {}, "deps": [],
+         "dep_kinds": []}
+        for i in range(n)
+    ]
+
+
+def _coordinator(ttl=10.0, attempts=3):
+    clock = FakeClock()
+    return FleetCoordinator(
+        lease_ttl_s=ttl, max_attempts=attempts, clock=clock
+    ), clock
+
+
+# -- coordinator unit tests ---------------------------------------------------
+
+
+def test_enqueue_is_idempotent_and_topological():
+    coord, _ = _coordinator()
+    summary = coord.enqueue(_chain_jobs())
+    assert summary["accepted"] == 3 and summary["known"] == 0
+    again = coord.enqueue(_chain_jobs())
+    assert again["accepted"] == 0 and again["known"] == 3
+    with pytest.raises(ValueError):
+        coord.enqueue(
+            [{"kind": "gp", "key": "x", "params": {}, "deps": ["missing"],
+              "dep_kinds": ["gp"]}]
+        )
+
+
+def test_only_ready_jobs_are_leased():
+    coord, _ = _coordinator()
+    coord.enqueue(_chain_jobs())
+    reply = coord.lease("w1", max_jobs=10)
+    # Only the chain head is dependency-free.
+    assert [j["key"] for j in reply["jobs"]] == ["k0"]
+    # And it is not leased to anyone else concurrently.
+    assert coord.lease("w2", max_jobs=10)["jobs"] == []
+
+
+def test_completion_releases_dependents():
+    coord, _ = _coordinator()
+    coord.enqueue(_chain_jobs())
+    coord.lease("w1")
+    assert coord.complete("w1", "k0", "computed")["result"] == "computed"
+    reply = coord.lease("w1")
+    assert [j["key"] for j in reply["jobs"]] == ["k1"]
+    coord.complete("w1", "k1", "computed")
+    coord.complete("w1", "k2", "computed")  # leased implicitly? no —
+    # k2 was never leased, but a completion for a known ready job is
+    # still recorded (content-addressed: the artifact exists either way).
+    assert coord.status()["outstanding"] == 0
+
+
+def test_expired_lease_is_requeued_and_logged():
+    coord, clock = _coordinator(ttl=10.0)
+    coord.enqueue(_fan_jobs(1))
+    assert coord.lease("w1")["jobs"]
+    clock.advance(11.0)
+    reply = coord.lease("w2")
+    assert [j["key"] for j in reply["jobs"]] == ["f0"]
+    assert reply["jobs"][0]["attempt"] == 2
+    kinds = [f["error_type"] for f in coord.failures]
+    assert kinds == ["LeaseExpired"]
+    assert coord.failures[0]["worker"] == "w1"
+
+
+def test_heartbeat_extends_leases():
+    coord, clock = _coordinator(ttl=10.0)
+    coord.enqueue(_fan_jobs(1))
+    coord.lease("w1")
+    clock.advance(8.0)
+    assert coord.heartbeat("w1")["keys"] == ["f0"]
+    clock.advance(8.0)  # 16s since lease, 8s since heartbeat: still held
+    assert coord.lease("w2")["jobs"] == []
+    assert coord.heartbeat("w1")["keys"] == ["f0"]
+
+
+def test_attempt_budget_fails_job_permanently_and_cascades():
+    coord, clock = _coordinator(ttl=10.0, attempts=2)
+    coord.enqueue(_chain_jobs(3))
+    for _ in range(2):  # burn both attempts via expiry
+        assert coord.lease("w1")["jobs"]
+        clock.advance(11.0)
+    status = coord.status()
+    assert status["counts"]["failed"] == 3  # the job and its dependents
+    assert status["outstanding"] == 0  # a watcher terminates
+    kinds = [f["error_type"] for f in status["failures"]]
+    assert kinds.count("LeaseExpired") == 2
+    assert kinds.count("UpstreamFailed") == 2
+
+
+def test_worker_failure_requeues_until_budget():
+    coord, _ = _coordinator(attempts=2)
+    coord.enqueue(_fan_jobs(1))
+    coord.lease("w1")
+    coord.complete(
+        "w1", "f0", "failed",
+        error={"error_type": "RuntimeError", "error": "boom"},
+    )
+    assert coord.lease("w2")["jobs"]  # requeued: one attempt left
+    coord.complete(
+        "w2", "f0", "failed",
+        error={"error_type": "RuntimeError", "error": "boom again"},
+    )
+    status = coord.status()
+    assert status["counts"]["failed"] == 1
+    assert [f["error"] for f in status["failures"]] == ["boom", "boom again"]
+    assert [f["worker"] for f in status["failures"]] == ["w1", "w2"]
+
+
+def test_released_job_refunds_attempt():
+    coord, _ = _coordinator(attempts=1)
+    coord.enqueue(_fan_jobs(1))
+    coord.lease("w1")
+    coord.complete("w1", "f0", "released")
+    # With max_attempts=1 a *consumed* attempt would have been final;
+    # the refund makes the job leasable again.
+    reply = coord.lease("w2")
+    assert [j["key"] for j in reply["jobs"]] == ["f0"]
+    assert reply["jobs"][0]["attempt"] == 1
+    coord.complete("w2", "f0", "computed")
+    assert coord.status()["outstanding"] == 0
+
+
+def test_late_completion_after_expiry_is_accepted_once():
+    coord, clock = _coordinator(ttl=10.0)
+    coord.enqueue(_fan_jobs(1))
+    coord.lease("w1")
+    clock.advance(11.0)
+    coord.lease("w2")  # steals the job
+    # w1 finished anyway (it never heard the lease died): content-
+    # addressed artifacts make this a valid completion.
+    assert coord.complete("w1", "f0", "computed")["result"] == "computed"
+    # w2's duplicate completion is acknowledged, not double-counted.
+    assert coord.complete("w2", "f0", "computed")["result"] == "duplicate"
+    assert len(coord.entries) == 1
+    assert coord.status()["counts"]["done"] == 1
+
+
+def test_late_success_cannot_resurrect_a_failed_dag():
+    coord, clock = _coordinator(ttl=10.0, attempts=1)
+    coord.enqueue(_chain_jobs(2))
+    coord.lease("w1")
+    clock.advance(11.0)
+    coord.status()  # trigger expiry: budget spent, k0 + k1 failed
+    assert coord.status()["counts"]["failed"] == 2
+    reply = coord.complete("w1", "k0", "computed")
+    assert reply["result"] == "already-failed"
+    assert coord.status()["counts"]["failed"] == 2
+    assert coord.status()["counts"]["done"] == 0
+
+
+def test_enqueue_under_failed_dependency_fails_immediately():
+    coord, clock = _coordinator(ttl=10.0, attempts=1)
+    coord.enqueue(_fan_jobs(1))
+    coord.lease("w1")
+    clock.advance(11.0)
+    coord.status()  # f0 now failed permanently
+    coord.enqueue(
+        [{"kind": "lg", "key": "child", "params": {}, "deps": ["f0"],
+          "dep_kinds": ["gp"]}]
+    )
+    status = coord.status()
+    assert status["counts"]["failed"] == 2
+    assert status["outstanding"] == 0
+    assert any(
+        f["key"] == "child" and f["error_type"] == "UpstreamFailed"
+        for f in status["failures"]
+    )
+
+
+def test_unknown_requests_are_rejected():
+    coord, _ = _coordinator()
+    with pytest.raises(ValueError):
+        coord.lease("w1", max_jobs=0)
+    with pytest.raises(ValueError):
+        coord.complete("w1", "nope", "computed")
+    coord.enqueue(_fan_jobs(1))
+    coord.lease("w1")
+    with pytest.raises(ValueError):
+        coord.complete("w1", "f0", "exploded")
+
+
+def test_serialize_graph_carries_dep_kinds():
+    graph = JobGraph()
+    gp = graph.add(
+        Job.create(
+            "gp", {"topology": "grid", "config": _CFG, "seed": _CFG["seed"]}
+        )
+    )
+    graph.add(
+        Job.create(
+            "lg", {"topology": "grid", "engine": "qgdp", "config": _CFG},
+            deps=(gp.key,),
+        )
+    )
+    rows = serialize_graph(graph)
+    assert [r["kind"] for r in rows] == ["gp", "lg"]
+    assert rows[1]["deps"] == [gp.key]
+    assert rows[1]["dep_kinds"] == ["gp"]
+
+
+# -- hypothesis: lease-lifecycle invariants -----------------------------------
+
+# Each op drives one coordinator transition; the generators stay tiny so
+# shrunk counterexamples read as a schedule.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("lease"), st.sampled_from(["wa", "wb", "wc"])),
+        st.tuples(st.just("advance"), st.sampled_from([4.0, 6.0, 11.0])),
+        st.tuples(st.just("heartbeat"), st.sampled_from(["wa", "wb", "wc"])),
+        st.tuples(st.just("complete"), st.sampled_from(["ok", "fail"])),
+        st.tuples(st.just("release"), st.just(None)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS, shape=st.sampled_from(["chain", "fan"]))
+def test_lease_lifecycle_invariants(ops, shape):
+    """Under any interleaving of lease / expiry / completion / drain:
+    no job is leased to two workers at once, counts always add up, and
+    draining afterwards leaves every job done or failed — never lost."""
+    coord, clock = _coordinator(ttl=10.0, attempts=3)
+    jobs = _chain_jobs(3) if shape == "chain" else _fan_jobs(3)
+    coord.enqueue(jobs)
+    held = {}  # key -> worker (our model of live leases)
+
+    def sync_model():
+        # Rebuild the model from ledgers/status: revoked and finished
+        # leases disappear; a key must never be held by two workers.
+        alive = {}
+        for worker in ("wa", "wb", "wc"):
+            for key in coord.heartbeat(worker)["keys"]:
+                assert key not in alive, f"{key} leased to two workers"
+                alive[key] = worker
+        return alive
+
+    for op, arg in ops:
+        if op == "lease":
+            coord.lease(arg, max_jobs=2)
+        elif op == "advance":
+            clock.advance(arg)
+        elif op == "heartbeat":
+            coord.heartbeat(arg)
+        elif op in ("complete", "release"):
+            held = sync_model()
+            if not held:
+                continue
+            key, worker = next(iter(held.items()))
+            if op == "release":
+                coord.complete(worker, key, "released")
+            elif arg == "ok":
+                coord.complete(worker, key, "computed")
+            else:
+                coord.complete(
+                    worker, key, "failed",
+                    error={"error_type": "X", "error": "injected"},
+                )
+        counts = coord.status()["counts"]
+        assert counts["total"] == 3
+        assert sum(counts[s] for s in
+                   ("pending", "ready", "leased", "done", "failed")) == 3
+        sync_model()
+
+    # Drain: a cooperative worker must always be able to finish the
+    # fleet — nothing may be stuck leased/pending forever.
+    for _ in range(50):
+        status = coord.status()
+        if status["outstanding"] == 0:
+            break
+        reply = coord.lease("drain", max_jobs=3)
+        for job in reply["jobs"]:
+            coord.complete("drain", job["key"], "computed")
+        if not reply["jobs"]:
+            clock.advance(11.0)  # let stragglers' leases expire
+    final = coord.status()
+    assert final["outstanding"] == 0
+    assert final["counts"]["done"] + final["counts"]["failed"] == 3
+    # No job lost: every enqueued key reached a terminal ledger.
+    done_keys = {e["key"] for e in final["entries"]}
+    failed_keys = {f["key"] for f in final["failures"]}
+    assert {j["key"] for j in jobs} <= done_keys | failed_keys
+
+
+# -- worker loop + HTTP end-to-end -------------------------------------------
+
+
+def _tiny_spec():
+    return SweepSpec(
+        topologies=("grid",),
+        benchmarks=("bv-4",),
+        engines=("qgdp", "tetris"),
+        num_seeds=2,
+        config=_CFG,
+    )
+
+
+@pytest.fixture()
+def fleet_server(tmp_path):
+    coordinator = FleetCoordinator(lease_ttl_s=30.0, max_attempts=3)
+    backend = SqliteBackend(str(tmp_path / "store.db"))
+    server = CacheServer(backend, coordinator=coordinator).start()
+    yield server
+    server.stop()
+    backend.close()
+
+
+def test_two_workers_complete_a_fleet_sweep(fleet_server):
+    spec = _tiny_spec()
+    # Enqueue up front so the workers (exit_when_idle) never race the
+    # watcher's own — idempotent — enqueue and quit before work exists.
+    plan = plan_sweep(spec)
+    FleetClient(fleet_server.url).enqueue(serialize_graph(plan.graph))
+
+    workers = []
+    for name in ("w1", "w2"):
+        worker_store = ArtifactStore.from_url(fleet_server.url)
+        thread = threading.Thread(
+            target=lambda s=worker_store, n=name: run_worker(
+                fleet_server.url, s, worker_id=n, batch_size=2, poll_s=0.02
+            )
+        )
+        thread.start()
+        workers.append(thread)
+
+    result = run_fleet_sweep(spec, fleet_server.url, poll_s=0.05)
+    for thread in workers:
+        thread.join(timeout=300)
+        assert not thread.is_alive()
+
+    serial = run_sweep(spec, workers=0)
+    assert result.rows == serial.rows  # bit-identical cells
+    assert [e["key"] for e in result.stats.entries] == [
+        j.key for j in plan.graph.ordered()
+    ]
+    assert result.manifest["jobs"]["failures"] == []
+    fleet = result.manifest["fleet"]
+    assert set(fleet["workers"]) >= {"w1", "w2"}
+    assert result.manifest["run_id"].endswith("-fleet")
+
+
+def test_fleet_sweep_reports_permanent_failures(fleet_server):
+    client = FleetClient(fleet_server.url)
+    spec = _tiny_spec()
+    plan = plan_sweep(spec)
+    client.enqueue(serialize_graph(plan.graph))
+    # Fail the root gp job (first in insertion order, so first leased)
+    # through its whole attempt budget: its dependents cascade-fail.
+    for _ in range(3):
+        reply = client.lease("saboteur", max_jobs=1)
+        assert reply["jobs"]
+        client.complete(
+            "saboteur",
+            reply["jobs"][0]["key"],
+            "failed",
+            error={"error_type": "RuntimeError", "error": "sabotage"},
+        )
+    # Fake-complete the independent transpile jobs so the fleet
+    # terminates (the watcher raises before it ever reads their cells).
+    while True:
+        reply = client.lease("saboteur", max_jobs=50)
+        if not reply["jobs"]:
+            break
+        for job in reply["jobs"]:
+            client.complete("saboteur", job["key"], "computed")
+    with pytest.raises(FleetError) as info:
+        run_fleet_sweep(spec, fleet_server.url, poll_s=0.05)
+    kinds = {f["error_type"] for f in info.value.failures}
+    assert "RuntimeError" in kinds and "UpstreamFailed" in kinds
+
+
+def test_worker_drains_gracefully_on_stop(fleet_server):
+    client = FleetClient(fleet_server.url)
+    client.enqueue(_fan_jobs(4))
+    stop = threading.Event()
+    store = ArtifactStore.from_url(fleet_server.url)
+    # SIGTERM arriving right after a batch is leased: every unstarted
+    # job must be handed back as "released" with its attempt refunded.
+    stats = run_worker(
+        fleet_server.url, store, worker_id="drainer", batch_size=4,
+        poll_s=0.02, stop=stop,
+        progress=lambda event, job: stop.set() if event == "lease" else None,
+    )
+    assert stats.drained
+    assert stats.released == 4
+    assert stats.computed == stats.failed == 0
+    # The next worker can lease everything immediately (no TTL wait),
+    # and the refund means these are still first attempts.
+    reply = client.lease("next", max_jobs=4)
+    assert len(reply["jobs"]) == 4
+    assert {j["attempt"] for j in reply["jobs"]} == {1}
+
+
+def test_worker_reports_dependency_unavailable(fleet_server):
+    # Enqueue a DAG whose dependency artifact is *not* in the store and
+    # whose parent is completed behind the worker's back.
+    client = FleetClient(fleet_server.url)
+    client.enqueue(_chain_jobs(2))
+    client.lease("ghost")
+    client.complete("ghost", "k0", "computed")  # artifact never written
+    store = ArtifactStore.from_url(fleet_server.url)
+    stats = run_worker(
+        fleet_server.url, store, worker_id="w", poll_s=0.02,
+        store_retry=RetryPolicy(attempts=2, base_delay_s=0.0),
+    )
+    assert stats.failed >= 1
+    failures = client.status()["failures"]
+    assert any(
+        f["error_type"] == "DependencyUnavailable" for f in failures
+    )
+
+
+# -- concurrent SQLite writers stress ----------------------------------------
+
+
+def test_concurrent_sqlite_writers_stress(tmp_path):
+    """Many threads, each with its own connection to one shared database
+    file, hammering interleaved writes: every artifact must land intact
+    (WAL + busy timeout make this the supported single-host layout)."""
+    path = str(tmp_path / "shared.db")
+    threads, errors = [], []
+
+    def writer(worker_index):
+        backend = SqliteBackend(path)
+        try:
+            for i in range(25):
+                key = f"w{worker_index}-{i}"
+                backend.put_text("gp", key, f'{{"v": {worker_index * 1000 + i}}}')
+                if backend.get_text("gp", key) is None:
+                    errors.append(f"lost {key}")
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(repr(exc))
+        finally:
+            backend.close()
+
+    for index in range(8):
+        thread = threading.Thread(target=writer, args=(index,))
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=120)
+    assert errors == []
+
+    check = SqliteBackend(path)
+    try:
+        entries = check.entries()
+        assert len(entries) == 8 * 25
+        for worker_index in range(8):
+            for i in range(25):
+                text = check.get_text("gp", f"w{worker_index}-{i}")
+                assert text == f'{{"v": {worker_index * 1000 + i}}}'
+    finally:
+        check.close()

@@ -55,6 +55,13 @@ from repro.evaluation import (
     sweep_spec,
 )
 from repro.legalization import PAPER_ENGINE_ORDER
+from repro.lint import (
+    DEFAULT_PATHS as LINT_DEFAULT_PATHS,
+    FORMATS as LINT_FORMATS,
+    lint_paths,
+    render as render_findings,
+    select_rules,
+)
 from repro.orchestration import (
     FleetClient,
     FleetError,
@@ -407,6 +414,27 @@ def _cmd_worker(args) -> int:
         flush=True,
     )
     return 0 if stats.failed == 0 else 1
+
+
+def _cmd_lint(args) -> int:
+    try:
+        rules = select_rules(args.rule)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    root = os.path.abspath(args.root)
+    if args.paths:
+        paths = args.paths
+    else:
+        paths = [
+            path
+            for path in LINT_DEFAULT_PATHS
+            if os.path.exists(os.path.join(root, path))
+        ]
+    findings = lint_paths(paths, rules=rules, root=root)
+    print(render_findings(findings, args.format))
+    # diff(1)-style: 0 = clean, 1 = findings (2 = usage error above).
+    return 1 if findings else 0
 
 
 def _cmd_fleet(args) -> int:
@@ -980,6 +1008,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-job progress"
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant checks: determinism, key purity, locks",
+        description="Run the AST-based invariant checker over the "
+        "repository (see docs/lint.md): RPR001 nondeterminism on the "
+        "content-key path, RPR002 content-key purity, RPR003 lock "
+        "discipline, RPR004 process-boundary safety, RPR005 flat-array "
+        "probes.  Suppress a finding in place with "
+        "`# repro: lint-ignore[RPR001]`; unused suppressions are "
+        "reported as RPR000.  Exit code 0 = clean, 1 = findings, "
+        "2 = usage error.",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: "
+        f"{' '.join(LINT_DEFAULT_PATHS)} under --root; tests/ is "
+        "excluded because tests/lint/fixtures is intentionally bad)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule id (repeatable; default: all rules)",
+    )
+    lint.add_argument(
+        "--format",
+        default="text",
+        choices=LINT_FORMATS,
+        help="output format: text (default), json, or github "
+        "(workflow annotations for CI)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="repository root for default paths and display paths "
+        "(default: current directory)",
+    )
+
     fleet = sub.add_parser(
         "fleet",
         help="inspect a fleet coordinator's progress and workers",
@@ -1019,6 +1087,7 @@ _HANDLERS = {
     "serve-cache": _cmd_serve_cache,
     "worker": _cmd_worker,
     "fleet": _cmd_fleet,
+    "lint": _cmd_lint,
 }
 
 

@@ -93,11 +93,11 @@ class _Segment:
 
 def _segments_of_row(bins: BinGrid, row: int) -> list:
     """Maximal runs of free columns in a row."""
-    free = bins._free_rows[row]
+    free = bins.free_cols_in_row(row)
     segments = []
     run_start = None
     prev = None
-    for col in free:
+    for col in map(int, free):
         if run_start is None:
             run_start = col
         elif col != prev + 1:

@@ -223,6 +223,28 @@ class BinGrid:
         ]
 
     # -- queries -----------------------------------------------------------
+    def free_cols_in_row(self, row: int) -> np.ndarray:
+        """Ascending free columns of ``row``, read from the flat arrays.
+
+        One vectorized scan of the column-major ``kind_flat`` stride for
+        the row — the probe legalizers should use instead of reaching
+        into the legacy per-row free lists.
+        """
+        return np.flatnonzero(self._kind[row :: self.grid.rows] == KIND_FREE)
+
+    def first_free_col_at_or_after(self, row: int, col: int):
+        """Smallest free column ``>= col`` in ``row``, or None.
+
+        Equivalent to ``bisect_left`` on the sorted per-row free list,
+        but answered from ``kind_flat`` directly.
+        """
+        row_kinds = self._kind[row :: self.grid.rows]
+        start = max(col, 0)
+        offsets = np.flatnonzero(row_kinds[start:] == KIND_FREE)
+        if offsets.size == 0:
+            return None
+        return start + int(offsets[0])
+
     def nearest_free(self, col: int, row: int) -> tuple:
         """Free site minimizing Euclidean site distance to ``(col, row)``.
 

@@ -16,15 +16,7 @@ from repro.legalization.bins import BinGrid
 
 def _frontier_position(bins: BinGrid, row: int, frontier: int, target: int):
     """First free column in ``row`` at or after ``max(frontier, target)``."""
-    free = bins._free_rows[row]
-    if not free:
-        return None
-    import bisect
-
-    idx = bisect.bisect_left(free, max(frontier, target))
-    if idx >= len(free):
-        return None
-    return free[idx]
+    return bins.first_free_col_at_or_after(row, max(frontier, target))
 
 
 def tetris_legalize(blocks: list, bins: BinGrid) -> dict:
@@ -49,7 +41,7 @@ def tetris_legalize(blocks: list, bins: BinGrid) -> dict:
         for dist in range(grid.rows):
             if best is not None and dist > best[0]:
                 break
-            for row in {target_row - dist, target_row + dist}:
+            for row in sorted({target_row - dist, target_row + dist}):
                 if not (0 <= row < grid.rows):
                     continue
                 col = _frontier_position(bins, row, frontier[row], target_col)

@@ -1,0 +1,83 @@
+"""Finding formatters: text, JSON, and GitHub workflow annotations.
+
+Three renderings of the same sorted finding list:
+
+* ``text`` — ``path:line:col: RULE message`` plus a summary line, the
+  local-development default;
+* ``json`` — ``{"findings": [...], "count": N, "rules": [...]}``; the
+  row schema is :meth:`repro.lint.core.Finding.to_dict`, pinned by
+  ``tests/lint``;
+* ``github`` — ``::error file=...,line=...,col=...,title=RULE::msg``
+  workflow commands, so CI findings surface as inline PR annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Sequence
+
+from repro.lint.core import Finding
+
+FORMATS = ("text", "json", "github")
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}" for f in findings
+    ]
+    count = len(findings)
+    lines.append(
+        "repro lint: clean"
+        if count == 0
+        else f"repro lint: {count} finding{'s' if count != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    rules = sorted({f.rule for f in findings})
+    document = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+        "rules": rules,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _escape_annotation(text: str) -> str:
+    """GitHub workflow-command escaping for the message payload."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_github(findings: Sequence[Finding]) -> str:
+    lines = [
+        f"::error file={f.path},line={f.line},col={f.col},"
+        f"title={f.rule}::{_escape_annotation(f.message)}"
+        for f in findings
+    ]
+    lines.append(
+        f"repro lint: {len(findings)} finding(s)"
+        if findings
+        else "repro lint: clean"
+    )
+    return "\n".join(lines)
+
+
+FORMATTERS: Dict[str, Callable[[Sequence[Finding]], str]] = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}
+
+
+def render(findings: List[Finding], fmt: str = "text") -> str:
+    """Render findings in ``fmt`` (one of :data:`FORMATS`)."""
+    try:
+        formatter = FORMATTERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r}; expected one of {', '.join(FORMATS)}"
+        ) from None
+    return formatter(findings)

@@ -1,0 +1,144 @@
+"""RPR003 — lock discipline: guarded attributes stay under their lock.
+
+A lightweight static race detector for the classes the threading cache
+server drives concurrently (the fleet coordinator, the store backends).
+It is convention-seeded rather than type-inferred:
+
+* an attribute assignment whose source line carries a
+  ``# guarded-by: <lock>`` comment declares that ``self.<attr>`` may
+  only be read or written while ``self.<lock>`` is held::
+
+      self._jobs = {}  # guarded-by: _lock
+
+* every other ``self.<attr>`` access to a declared attribute, in any
+  method of the same class, must then sit lexically inside a
+  ``with self.<lock>`` (or ``with self.<lock> as ...``) block;
+* ``__init__`` is exempt — construction happens-before publication;
+* a private helper that is only ever called with the lock held opts
+  out by marking its ``def`` line ``# holds: <lock>``::
+
+      def _expire(self, now):  # holds: _lock
+
+The check is lexical, not interprocedural: it cannot see a lock held by
+a caller (that is what ``# holds`` is for) and it does not track
+aliases of ``self``.  Those limits are the price of a zero-dependency
+AST pass — the same trade a ``GUARDED_BY`` annotation makes in a C++
+thread-safety analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*(\w+)")
+_HOLDS = re.compile(r"#\s*holds:\s*(\w+)")
+
+
+def _is_self_attr(node: ast.AST, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr == attr
+    )
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Accesses to ``# guarded-by`` attributes outside ``with self.<lock>``."""
+
+    id = "RPR003"
+    name = "lock-discipline"
+    scope = ()  # runs everywhere; only fires where guards are declared
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> List[Finding]:
+        guarded = self._declared_guards(ctx, cls)
+        if not guarded:
+            return []
+        findings: List[Finding] = []
+        for method in cls.body:
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if method.name == "__init__":
+                continue
+            holds = set(_HOLDS.findall(ctx.line_text(method.lineno)))
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                if not (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    continue
+                lock = guarded.get(node.attr)
+                if lock is None or lock in holds:
+                    continue
+                if self._under_lock(ctx, node, lock):
+                    continue
+                findings.append(
+                    Finding(
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=self.id,
+                        message=(
+                            f"self.{node.attr} is declared guarded-by "
+                            f"{lock} but is accessed outside `with "
+                            f"self.{lock}` in {cls.name}.{method.name} — "
+                            f"take the lock, or mark the method "
+                            f"`# holds: {lock}` if every caller already "
+                            "does"
+                        ),
+                    )
+                )
+        return findings
+
+    def _declared_guards(
+        self, ctx: FileContext, cls: ast.ClassDef
+    ) -> Dict[str, str]:
+        """attr name -> lock name, from ``# guarded-by`` assignment lines."""
+        guarded: Dict[str, str] = {}
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            match = _GUARDED_BY.search(ctx.line_text(node.lineno))
+            if match is None:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    guarded[target.attr] = match.group(1)
+        return guarded
+
+    def _under_lock(
+        self, ctx: FileContext, node: ast.AST, lock: str
+    ) -> bool:
+        """Whether ``node`` sits lexically inside ``with self.<lock>``."""
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if _is_self_attr(item.context_expr, lock):
+                        return True
+        return False

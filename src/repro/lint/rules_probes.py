@@ -1,0 +1,86 @@
+"""RPR005 — flat-array probes in ``detailed/`` and ``legalization/``.
+
+PR 1 rebuilt the qGDP hot path on flat NumPy site arrays
+(``kind_flat`` / ``owner_idx_flat`` / ``res_idx_flat``, column-major so
+ascending flat index equals ascending ``(col, row)``); the legacy
+dict / per-row-bisect structures are kept in lockstep only as the
+mutation bookkeeping inside :class:`~repro.legalization.bins.BinGrid`.
+The ROADMAP maintenance rule — "keep new site probes on the flat
+arrays rather than the dict state" — was enforced by nothing until
+this rule.  In ``src/repro/detailed/`` and ``src/repro/legalization/``
+(``bins.py`` itself excepted, it owns both representations) it flags:
+
+* attribute access to the legacy internals ``._occupant`` /
+  ``._free_rows`` — reach for ``kind_flat`` /
+  ``free_cols_in_row`` / ``first_free_col_at_or_after`` instead;
+* ``import bisect`` / ``from bisect import ...`` and ``bisect.*``
+  calls — bisecting a per-row free list is the legacy probe pattern;
+  the flat arrays answer the same queries with one vectorized scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+#: BinGrid's legacy dict/bisect internals (bins.py's private state).
+_LEGACY_ATTRS = frozenset({"_occupant", "_free_rows"})
+
+
+@register
+class FlatArrayProbeRule(Rule):
+    """Legacy dict/bisect occupancy probes outside ``bins.py``."""
+
+    id = "RPR005"
+    name = "flat-array-probes"
+    scope = ("src/repro/detailed/", "src/repro/legalization/")
+    exempt = ("src/repro/legalization/bins.py",)
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr in _LEGACY_ATTRS:
+                findings.append(
+                    self._finding(
+                        ctx,
+                        node,
+                        f".{node.attr} is BinGrid's legacy dict/bisect "
+                        "state — probe the flat site arrays instead "
+                        "(kind_flat, free_cols_in_row, "
+                        "first_free_col_at_or_after)",
+                    )
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "bisect":
+                        findings.append(
+                            self._finding(
+                                ctx,
+                                node,
+                                "import bisect in a site-probe module — "
+                                "the flat NumPy arrays answer free-site "
+                                "queries without per-row free lists",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "bisect":
+                    findings.append(
+                        self._finding(
+                            ctx,
+                            node,
+                            "from bisect import ... in a site-probe "
+                            "module — use the flat NumPy site arrays",
+                        )
+                    )
+        return findings
+
+    def _finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+        )

@@ -1,0 +1,124 @@
+"""RPR004 — process-boundary safety: only picklable callables cross.
+
+Sweep jobs cross a ``ProcessPoolExecutor`` boundary, timeout-bounded
+attempts cross a forked-``Process`` boundary, and fleet job payloads
+cross machines as JSON.  Lambdas, closures (functions defined inside
+functions) and bound methods either do not pickle at all or drag a
+whole object graph across the fork — the classic "works in the serial
+debugging mode, dies in the pool" failure.  This rule flags, at every
+submission site:
+
+* ``<executor>.submit(<callable>, ...)`` where the callable is a
+  lambda, a locally-defined (nested) function, or a ``self.<method>``
+  bound method;
+* ``Process(target=<callable>)`` / ``ctx.Process(target=...)`` with the
+  same unpicklable shapes;
+* ``functools.partial`` wrapping one of those shapes in either
+  position.
+
+Module-level functions (the way ``execute_job`` is submitted) are the
+only shape all start methods and the fleet wire format support.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.lint.core import FileContext, Finding, Rule, register
+
+
+def _local_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined *inside* another function (closures)."""
+    names: Set[str] = set()
+    functions = (ast.FunctionDef, ast.AsyncFunctionDef)
+    for node in ast.walk(tree):
+        if isinstance(node, functions):
+            for inner in ast.walk(node):
+                if inner is not node and isinstance(inner, functions):
+                    names.add(inner.name)
+    return names
+
+
+@register
+class ProcessBoundaryRule(Rule):
+    """Unpicklable callables handed to executors / process targets."""
+
+    id = "RPR004"
+    name = "process-boundary"
+    scope = ()  # everywhere: benchmarks and examples fork pools too
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        local_defs = _local_function_names(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._submitted_callable(node)
+            if target is None:
+                continue
+            problem = self._describe_problem(target, local_defs)
+            if problem is not None:
+                findings.append(
+                    Finding(
+                        path=ctx.path,
+                        line=target.lineno,
+                        col=target.col_offset,
+                        rule=self.id,
+                        message=(
+                            f"{problem} crosses the process boundary — "
+                            "it won't pickle (or drags its closure/self "
+                            "along); submit a module-level function and "
+                            "pass state through arguments"
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _submitted_callable(node: ast.Call) -> Optional[ast.expr]:
+        """The callable argument of a submission call, if this is one."""
+        func = node.func
+        # <pool>.submit(callable, ...)
+        if isinstance(func, ast.Attribute) and func.attr == "submit":
+            if node.args:
+                return node.args[0]
+            return None
+        # Process(target=...) / ctx.Process(target=...) / mp.Process(...)
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name == "Process":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+        return None
+
+    @staticmethod
+    def _describe_problem(
+        target: ast.expr, local_defs: Set[str]
+    ) -> Optional[str]:
+        # functools.partial(f, ...): judge the wrapped callable.
+        if isinstance(target, ast.Call):
+            func = target.func
+            partial = (
+                isinstance(func, ast.Name) and func.id == "partial"
+            ) or (
+                isinstance(func, ast.Attribute) and func.attr == "partial"
+            )
+            if partial and target.args:
+                return ProcessBoundaryRule._describe_problem(
+                    target.args[0], local_defs
+                )
+            return None
+        if isinstance(target, ast.Lambda):
+            return "a lambda"
+        if isinstance(target, ast.Name) and target.id in local_defs:
+            return f"locally-defined function {target.id!r}"
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return f"bound method self.{target.attr}"
+        return None

@@ -119,6 +119,8 @@ def retry_call(
     (the worker loop counts transient faults through it).
     """
     policy = policy or DEFAULT_RETRY_POLICY
+    # repro: lint-ignore[RPR001] backoff jitter must decorrelate across
+    # workers; it never reaches a payload or content key
     rng = rng or random.Random()
     failures = 0
     while True:
@@ -183,7 +185,7 @@ class StoreBackend(ABC):
     def __enter__(self) -> "StoreBackend":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
 
@@ -290,7 +292,9 @@ class SqliteBackend(StoreBackend):
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         self._lock = threading.RLock()
-        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn = sqlite3.connect(  # guarded-by: _lock
+            path, check_same_thread=False
+        )
         with self._lock:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -318,6 +322,8 @@ class SqliteBackend(StoreBackend):
             self._conn.execute(
                 "INSERT OR REPLACE INTO artifacts"
                 " (kind, key, payload, created_at) VALUES (?, ?, ?, ?)",
+                # repro: lint-ignore[RPR001] created_at is gc bookkeeping
+                # (the dir backend's mtime analogue), never in a payload
                 (kind, key, text, time.time()),
             )
             self._conn.commit()
@@ -389,8 +395,11 @@ class RemoteHTTPBackend(StoreBackend):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.retry = retry or DEFAULT_RETRY_POLICY
-        self.transient_failures = 0
+        self._stats_lock = threading.Lock()
+        self.transient_failures = 0  # guarded-by: _stats_lock
         self._sleep = sleep
+        # repro: lint-ignore[RPR001] retry jitter must decorrelate across
+        # workers; it never reaches a payload or content key
         self._rng = rng or random.Random()
 
     def _artifact_url(self, kind: str, key: str) -> str:
@@ -435,14 +444,16 @@ class RemoteHTTPBackend(StoreBackend):
             try:
                 status, payload = self._request_once(url, method, body)
             except StoreUnavailable:
-                self.transient_failures += 1
+                with self._stats_lock:
+                    self.transient_failures += 1
                 failures += 1
                 if failures >= self.retry.attempts:
                     raise
             else:
                 if status not in RETRYABLE_HTTP_STATUSES:
                     return status, payload
-                self.transient_failures += 1
+                with self._stats_lock:
+                    self.transient_failures += 1
                 failures += 1
                 if failures >= self.retry.attempts:
                     raise StoreUnavailable(
@@ -554,22 +565,29 @@ class TieredBackend(StoreBackend):
         self.local = local
         self.remote = remote
         self.degrade = degrade
-        self.degraded_reads = 0
-        self.degraded_writes = 0
-        self._warned = False
+        # The store contract requires thread-safety (serve-cache fronts
+        # one backend with a threading HTTP server), so the degradation
+        # counters are guarded — unsynchronized += would drop counts.
+        self._stats_lock = threading.Lock()
+        self.degraded_reads = 0  # guarded-by: _stats_lock
+        self.degraded_writes = 0  # guarded-by: _stats_lock
+        self._warned = False  # guarded-by: _stats_lock
 
     @property
     def degraded_ops(self) -> int:
         """Remote operations skipped because the remote was unreachable."""
-        return self.degraded_reads + self.degraded_writes
+        with self._stats_lock:
+            return self.degraded_reads + self.degraded_writes
 
     def _remote_down(self, write: bool, exc: StoreUnavailable) -> None:
-        if write:
-            self.degraded_writes += 1
-        else:
-            self.degraded_reads += 1
-        if not self._warned:
+        with self._stats_lock:
+            if write:
+                self.degraded_writes += 1
+            else:
+                self.degraded_reads += 1
+            warn_now = not self._warned
             self._warned = True
+        if warn_now:
             warnings.warn(
                 f"remote store {self.remote.describe()} unreachable "
                 f"({exc}); degrading to local-only operation — re-sync "

@@ -44,10 +44,13 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 from urllib.parse import unquote
 
 from repro.orchestration.backends import StoreBackend, backend_from_url
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.orchestration.coordinator import FleetCoordinator
 
 #: kind / key path segments must be plain tokens — this is what keeps a
 #: DirBackend-backed server inside its root (no separators, no dotfiles).
@@ -104,7 +107,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self.timeout = self.server.socket_timeout_s
         BaseHTTPRequestHandler.setup(self)
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         if not self.server.quiet:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
@@ -118,6 +121,8 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
             self.wfile.write(body)
 
     def _send_json(self, status: int, document: dict) -> None:
+        # repro: lint-ignore[RPR002] protocol responses are transport;
+        # artifact payload bytes pass through _send verbatim, unsorted
         self._send(status, json.dumps(document).encode("utf-8"))
 
     def _bad_request(self, message: str) -> None:
@@ -294,7 +299,7 @@ class CacheServer:
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = True,
-        coordinator=None,
+        coordinator: Optional["FleetCoordinator"] = None,
         max_body_bytes: int = MAX_BODY_BYTES,
         socket_timeout_s: Optional[float] = DEFAULT_SOCKET_TIMEOUT_S,
     ) -> None:
@@ -344,7 +349,7 @@ class CacheServer:
     def __enter__(self) -> "CacheServer":
         return self.start()
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.stop()
 
 

@@ -163,15 +163,15 @@ class FleetCoordinator:
         self.max_attempts = max_attempts
         self._clock = clock
         self._lock = threading.Lock()
-        self._jobs = {}  # key -> _FleetJob, insertion = topological order
-        self._dependents = {}  # key -> [dependent keys]
-        self._waiting = {}  # key -> number of unfinished deps
-        self._workers = {}  # worker id -> last-seen clock reading
-        self.failures = []  # JSON-safe failure ledger (manifest rows)
-        self.entries = []  # JSON-safe completion ledger (manifest rows)
+        self._jobs = {}  # guarded-by: _lock — key -> _FleetJob, topo order
+        self._dependents = {}  # guarded-by: _lock — key -> [dependents]
+        self._waiting = {}  # guarded-by: _lock — key -> unfinished deps
+        self._workers = {}  # guarded-by: _lock — worker id -> last seen
+        self.failures = []  # guarded-by: _lock — failure ledger rows
+        self.entries = []  # guarded-by: _lock — completion ledger rows
 
     # -- internals (lock held) --------------------------------------------
-    def _record_failure(
+    def _record_failure(  # holds: _lock
         self, job: _FleetJob, error_type: str, error: str,
         worker: Optional[str], traceback_text: Optional[str] = None,
     ) -> None:
@@ -188,7 +188,7 @@ class FleetCoordinator:
             }
         )
 
-    def _fail_permanently(self, job: _FleetJob) -> None:
+    def _fail_permanently(self, job: _FleetJob) -> None:  # holds: _lock
         """Mark a job failed and cascade to its transitive dependents."""
         stack = [job.key]
         first = True
@@ -210,14 +210,14 @@ class FleetCoordinator:
             first = False
             stack.extend(self._dependents.get(key, ()))
 
-    def _release_dependents(self, key: str) -> None:
+    def _release_dependents(self, key: str) -> None:  # holds: _lock
         for dep_key in self._dependents.get(key, ()):
             child = self._jobs[dep_key]
             self._waiting[dep_key] -= 1
             if self._waiting[dep_key] == 0 and child.state == "pending":
                 child.state = "ready"
 
-    def _requeue(self, job: _FleetJob) -> None:
+    def _requeue(self, job: _FleetJob) -> None:  # holds: _lock
         """Put a revoked/failed lease back on the queue or fail it."""
         job.worker = None
         job.deadline = None
@@ -226,7 +226,7 @@ class FleetCoordinator:
         else:
             job.state = "ready"
 
-    def _expire(self, now: float) -> int:
+    def _expire(self, now: float) -> int:  # holds: _lock
         """Revoke expired leases; returns how many were revoked."""
         expired = 0
         for job in self._jobs.values():
@@ -243,7 +243,7 @@ class FleetCoordinator:
                 self._requeue(job)
         return expired
 
-    def _counts(self) -> dict:
+    def _counts(self) -> dict:  # holds: _lock
         counts = {state: 0 for state in JOB_STATES}
         for job in self._jobs.values():
             counts[job.state] += 1
@@ -475,9 +475,13 @@ class FleetClient:
         self.timeout_s = timeout_s
         self.retry = retry or DEFAULT_RETRY_POLICY
         self._sleep = sleep
+        # repro: lint-ignore[RPR001] RPC retry jitter must decorrelate
+        # across workers; it never reaches a payload or content key
         self._rng = rng or random.Random()
 
     def _call_once(self, path: str, document: Optional[dict]) -> dict:
+        # repro: lint-ignore[RPR002] fleet RPC bodies are transport, not
+        # content-keyed artifacts; field order is free
         body = None if document is None else json.dumps(document).encode()
         request = urllib.request.Request(
             f"{self.base_url}{path}",

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.orchestration.sink import read_jsonl
 
@@ -160,7 +161,9 @@ def _describe_cell(key: list) -> str:
     return "/".join(str(part) for part in key if part is not None)
 
 
-def _section(lines: list, title: str, rows: list, render) -> None:
+def _section(
+    lines: list, title: str, rows: list, render: Callable
+) -> None:
     if not rows:
         return
     lines.append(f"{title} ({len(rows)}):")

@@ -28,6 +28,7 @@ plumbing as any other job exception.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import time
 import traceback
 from concurrent.futures import (
@@ -37,9 +38,9 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.orchestration.jobs import JobGraph
+from repro.orchestration.jobs import Job, JobGraph
 from repro.orchestration.stages import execute_job
 from repro.orchestration.store import ArtifactStore
 
@@ -69,7 +70,7 @@ class RunStats:
     failures: list = field(default_factory=list)
     entries: list = field(default_factory=list)
 
-    def record(self, job, cached: bool) -> None:
+    def record(self, job: Job, cached: bool) -> None:
         """Count one finished job and append its manifest ledger row."""
         slot = self.by_kind.setdefault(job.kind, {"computed": 0, "cached": 0})
         if cached:
@@ -90,7 +91,9 @@ class RunStats:
             }
         )
 
-    def record_failure(self, job, exc: BaseException, attempt: int) -> dict:
+    def record_failure(
+        self, job: Job, exc: BaseException, attempt: int
+    ) -> dict:
         """Log one failed attempt; returns the failure-log entry."""
         # A timeout-wrapped job's exception crossed a process boundary,
         # where tracebacks don't pickle; the child formatted its own and
@@ -143,7 +146,12 @@ class JobFailure(RuntimeError):
     ``error_type: "JobTimeout"``.
     """
 
-    def __init__(self, job, cause, failures: Optional[list] = None) -> None:
+    def __init__(
+        self,
+        job: Job,
+        cause: object,
+        failures: Optional[list] = None,
+    ) -> None:
         super().__init__(
             f"{job.kind} job {job.key[:12]} failed "
             f"({job.params.get('topology', '?')}): {cause}"
@@ -156,7 +164,12 @@ class JobTimeout(RuntimeError):
     """One job attempt exceeded the run's ``timeout_s`` wall-clock budget."""
 
 
-def _child_execute(conn, kind: str, params: dict, deps: list) -> None:
+def _child_execute(
+    conn: multiprocessing.connection.Connection,
+    kind: str,
+    params: dict,
+    deps: list,
+) -> None:
     """Child-process entry point for timeout-bounded execution.
 
     Sends ``("ok", payload)`` or ``("error", exception, traceback_str)``
@@ -230,7 +243,9 @@ def execute_job_with_timeout(
     raise exc
 
 
-def _notify(progress, job, status) -> None:
+def _notify(
+    progress: Optional[Callable], job: Job, status: str
+) -> None:
     if progress is not None:
         progress(job, status)
 
@@ -240,7 +255,7 @@ def run_jobs(
     store: ArtifactStore,
     workers: int = 0,
     resume: bool = False,
-    progress=None,
+    progress: Optional[Callable] = None,
     retries: int = 0,
     timeout_s: Optional[float] = None,
 ) -> tuple:
@@ -314,7 +329,13 @@ def run_jobs(
 
 
 def _run_pool(
-    pending, results, store, stats, workers, progress, retries: int = 0,
+    pending: List[Job],
+    results: Dict[str, dict],
+    store: ArtifactStore,
+    stats: RunStats,
+    workers: int,
+    progress: Optional[Callable],
+    retries: int = 0,
     timeout_s: Optional[float] = None,
 ) -> None:
     """Fan pending jobs out to a process pool, honoring dependencies.
@@ -361,7 +382,7 @@ def _run_pool(
     in_flight = {}
     ready.reverse()  # pop() from the tail keeps graph order
 
-    def requeue_or_abort(job, exc):
+    def requeue_or_abort(job: Job, exc: BaseException) -> None:
         """Log one pool-break failure; requeue within the grace budget."""
         attempts[job.key] = attempts.get(job.key, 0) + 1
         stats.record_failure(job, exc, attempts[job.key])
@@ -369,7 +390,7 @@ def _run_pool(
             raise JobFailure(job, exc, failures=stats.failures) from exc
         ready.append(job)
 
-    def rebuild_pool(job, exc):
+    def rebuild_pool(job: Job, exc: BaseException) -> None:
         """The pool is poisoned: requeue everything, build a fresh one."""
         nonlocal pool
         requeue_or_abort(job, exc)
@@ -381,7 +402,7 @@ def _run_pool(
         pool.shutdown(wait=False, cancel_futures=True)
         pool = ProcessPoolExecutor(max_workers=workers)
 
-    def submit(job):
+    def submit(job: Job) -> None:
         deps = [results[d] for d in job.deps]
         if timeout_s is None:
             future = pool.submit(execute_job, job.kind, job.params, deps)
@@ -395,7 +416,7 @@ def _run_pool(
             )
         in_flight[future] = job
 
-    def submit_ready():
+    def submit_ready() -> None:
         while ready:
             job = ready.pop()
             try:

@@ -17,12 +17,13 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from typing import Iterable
 
 #: The stage kinds a sweep decomposes into.
 JOB_KINDS = ("gp", "lg", "dp", "transpile", "analyze", "fidelity", "metrics")
 
 
-def canonical_json(obj) -> str:
+def canonical_json(obj: object) -> str:
     """Deterministic JSON encoding used for hashing (sorted keys, no ws)."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
@@ -97,7 +98,7 @@ class JobGraph:
         """Jobs in insertion (= topological) order."""
         return list(self.jobs.values())
 
-    def restricted_to(self, keys) -> "JobGraph":
+    def restricted_to(self, keys: Iterable[str]) -> "JobGraph":
         """The sub-graph reaching ``keys`` (transitive dependency closure).
 
         Used by sharding: a shard keeps only the jobs its cells need,

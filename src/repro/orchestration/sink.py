@@ -37,6 +37,8 @@ class RunSink:
         """Write all result rows as JSON Lines (one object per line)."""
         with open(self.results_path, "w", encoding="utf-8") as fh:
             for row in rows:
+                # repro: lint-ignore[RPR002] rows keep their insertion
+                # order — sorting here would rewrite historical streams
                 fh.write(json.dumps(row))
                 fh.write("\n")
         return self.results_path

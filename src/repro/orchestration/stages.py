@@ -127,7 +127,7 @@ def transpile_stats_from_dict(data: dict) -> TranspiledCircuit:
 # Component ids appear in three shapes: ("q", index), ("e", (qi, qj)) and
 # ("b", (qi, qj), ordinal).  Encoding flattens them to JSON rows; decoding
 # restores the exact tuples program_fidelity pattern-matches on.
-def _encode_component_id(cid) -> list:
+def _encode_component_id(cid: tuple) -> list:
     tag = cid[0]
     if tag == "q":
         return ["q", cid[1]]
@@ -138,7 +138,7 @@ def _encode_component_id(cid) -> list:
     raise ValueError(f"unknown component id {cid!r}")
 
 
-def _decode_component_id(row) -> tuple:
+def _decode_component_id(row: list) -> tuple:
     tag = row[0]
     if tag == "q":
         return ("q", row[1])
@@ -149,7 +149,9 @@ def _decode_component_id(row) -> tuple:
     raise ValueError(f"unknown component id row {row!r}")
 
 
-def analysis_to_dict(violations, hotspots, crossings) -> dict:
+def analysis_to_dict(
+    violations: dict, hotspots: dict, crossings: dict
+) -> dict:
     """Serialize one layout's crosstalk analysis (the Eq. 7 inputs).
 
     Dict entries are stored as ordered row lists, so decoding rebuilds

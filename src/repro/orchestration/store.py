@@ -89,7 +89,7 @@ class ArtifactStore:
             return True
         return self.backend is not None and self.backend.has(kind, key)
 
-    def get(self, kind: str, key: str):
+    def get(self, kind: str, key: str) -> Optional[dict]:
         """Load an artifact payload, or None when absent."""
         if key in self._memory:
             return self._memory[key]
@@ -105,7 +105,7 @@ class ArtifactStore:
         self._memory[key] = payload
         return payload
 
-    def put(self, kind: str, key: str, payload) -> dict:
+    def put(self, kind: str, key: str, payload: dict) -> dict:
         """Store a payload; returns the canonicalized (JSON round-trip) form."""
         text = json.dumps(payload)
         canonical = json.loads(text)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.circuits.registry import get_benchmark
 from repro.orchestration.coordinator import (
@@ -220,7 +220,7 @@ def plan_sweep(spec: SweepSpec) -> SweepPlan:
     return SweepPlan(graph=graph, cells=cells)
 
 
-def _parse_shard(shard) -> tuple:
+def _parse_shard(shard: Optional[tuple]) -> Optional[tuple]:
     """Normalize a shard selector to ``(index, count)`` (1-based index)."""
     if shard is None:
         return None
@@ -236,7 +236,7 @@ def run_sweep(
     workers: int = 0,
     resume: bool = False,
     shard: Optional[tuple] = None,
-    progress=None,
+    progress: Optional[Callable] = None,
     store: Optional[ArtifactStore] = None,
     retries: int = 0,
     timeout_s: Optional[float] = None,
@@ -337,7 +337,7 @@ def run_fleet_sweep(
     cache_dir: Optional[str] = None,
     cache_url: Optional[str] = None,
     poll_s: float = 1.0,
-    progress=None,
+    progress: Optional[Callable] = None,
     sleep=time.sleep,
 ) -> SweepResult:
     """Run a sweep across a worker fleet; returns the same

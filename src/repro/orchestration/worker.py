@@ -173,12 +173,14 @@ def run_worker(
     if install_signal_handler:
         signal.signal(signal.SIGTERM, lambda _sig, _frm: stop.set())
     store_retry = store_retry or RetryPolicy()
+    # repro: lint-ignore[RPR001] lease-poll jitter must decorrelate
+    # across workers; it never reaches a payload or content key
     rng = random.Random()
 
     def count_retry(_failures: int, _exc: BaseException) -> None:
         stats.store_retries += 1
 
-    def store_op(operation):
+    def store_op(operation: Callable) -> object:
         """A store call under the worker's transient-fault budget."""
         return retry_call(
             operation,

@@ -100,3 +100,20 @@ def test_abacus_respects_segment_boundaries():
     abacus_legalize(blocks, bins)
     for block in blocks:
         assert bins.grid.site_of(block.center) != (4, 0)
+
+
+def test_tetris_row_tie_breaks_toward_lower_row():
+    """Equidistant candidate rows resolve low-row-first, deterministically.
+
+    Regression for the RPR001 finding in the row scan: iterating
+    ``{target_row - dist, target_row + dist}`` directly exposed
+    hash-table order, so the winner of a cost tie depended on the int
+    hash layout instead of a documented rule.
+    """
+    bins = BinGrid(SiteGrid(5, 5))
+    for col in range(5):
+        bins.occupy(col, 2, ("q", 0))  # the target row is full
+    blocks = _blocks([(2.5, 2.5)])
+    placed = tetris_legalize(blocks, bins)
+    # Rows 1 and 3 both offer column 2 at cost 1; the lower row wins.
+    assert placed[blocks[0].name] == (2, 1)

@@ -1,0 +1,13 @@
+"""RPR002 fixture: canonical, pure counterparts — zero findings."""
+
+import json
+
+from repro.orchestration.jobs import job_key
+
+
+def canonical(document):
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def stable_key(params):
+    return job_key("place", {"topology": params["topology"]})

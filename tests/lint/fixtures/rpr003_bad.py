@@ -1,0 +1,18 @@
+"""RPR003 fixture: a guarded attribute touched without its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+
+    def record_hit(self):
+        self.hits += 1  # no lock held
+
+    def snapshot(self):
+        with self._lock:
+            hits = self.hits
+        return hits, self.misses  # read escaped the with-block

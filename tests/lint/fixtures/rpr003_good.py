@@ -1,0 +1,23 @@
+"""RPR003 fixture: lock discipline respected — zero findings."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.unguarded = 0  # no declaration: not checked
+
+    def record_hit(self):
+        with self._lock:
+            self.hits += 1
+
+    def _bump_misses(self):  # holds: _lock
+        self.misses += 1
+
+    def snapshot(self):
+        self.unguarded += 1
+        with self._lock:
+            return self.hits, self.misses

@@ -1,0 +1,21 @@
+"""RPR004 fixture: unpicklable callables crossing a process boundary."""
+
+import multiprocessing
+from functools import partial
+
+
+class Runner:
+    def run(self, pool, jobs):
+        futures = [pool.submit(lambda j: j.execute(), j) for j in jobs]
+
+        def helper(job):
+            return job.execute()
+
+        futures.append(pool.submit(helper, jobs[0]))  # locally defined
+        futures.append(pool.submit(self.handle, jobs[0]))  # bound method
+        futures.append(pool.submit(partial(self.handle, jobs[0])))
+        worker = multiprocessing.Process(target=helper, args=(jobs[0],))
+        return futures, worker
+
+    def handle(self, job):
+        return job.execute()

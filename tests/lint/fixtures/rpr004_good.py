@@ -1,0 +1,15 @@
+"""RPR004 fixture: module-level callables only — zero findings."""
+
+import multiprocessing
+from functools import partial
+
+
+def execute(job):
+    return job.run()
+
+
+def run(pool, jobs):
+    futures = [pool.submit(execute, job) for job in jobs]
+    futures.append(pool.submit(partial(execute, jobs[0])))
+    worker = multiprocessing.Process(target=execute, args=(jobs[0],))
+    return futures, worker

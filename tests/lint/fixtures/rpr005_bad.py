@@ -1,0 +1,14 @@
+"""RPR005 fixture: legacy dict/bisect probes in a site-probe module."""
+
+import bisect
+from bisect import bisect_left
+
+
+def frontier(bins, row, col):
+    free = bins._free_rows[row]  # legacy per-row free list
+    idx = bisect.bisect_left(free, col)
+    return free[idx] if idx < len(free) else None
+
+
+def owner(bins, col, row):
+    return bins._occupant.get((col, row))  # legacy occupant dict

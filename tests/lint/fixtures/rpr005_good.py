@@ -1,0 +1,15 @@
+"""RPR005 fixture: flat-array probes — zero findings."""
+
+import numpy as np
+
+
+def frontier(bins, row, col):
+    return bins.first_free_col_at_or_after(row, col)
+
+
+def free_mask(bins):
+    return np.flatnonzero(bins.kind_flat == 0)
+
+
+def owner(bins, col, row):
+    return bins.occupant(col, row)

@@ -1,0 +1,50 @@
+"""The typed surface: py.typed ships, and mypy passes when available.
+
+mypy is not a runtime dependency of the reproduction — the container
+may not have it — so the checker test skips cleanly when the module is
+absent.  CI installs mypy in the lint job, where this same
+configuration (``mypy.ini``: permissive baseline, strict signatures in
+``repro.orchestration``) gates the build.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def test_py_typed_marker_ships():
+    assert os.path.isfile(
+        os.path.join(REPO_ROOT, "src", "repro", "py.typed")
+    )
+
+
+def test_mypy_config_present():
+    assert os.path.isfile(os.path.join(REPO_ROOT, "mypy.ini"))
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (CI installs it for the lint job)",
+)
+def test_mypy_passes_on_orchestration():
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            os.path.join(REPO_ROOT, "mypy.ini"),
+            "-p",
+            "repro.orchestration",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -275,3 +275,33 @@ def test_flaky_backend_is_deterministic_and_absorbable(tmp_path):
         )
     assert len(flaky.inner.entries()) == 20
     assert flaky.injected > 0
+
+
+def test_tiered_degradation_counters_are_thread_safe(tmp_path):
+    """Concurrent misses against a down remote never drop a count.
+
+    Regression for the RPR003 lock-discipline finding: the degradation
+    counters were bare ``+=`` even though the store contract promises
+    thread-safety (serve-cache fronts one backend with a threading HTTP
+    server), so parallel readers could lose increments.  Hammering the
+    counters from many threads must account for every skipped remote op
+    exactly once.
+    """
+    tiered = TieredBackend(DirBackend(str(tmp_path / "local")), _DownBackend())
+    with pytest.warns(RuntimeWarning):  # absorb the one-time warning first
+        tiered.get_text("gp", "prime")
+    threads_n, reads_per_thread = 8, 50
+    start = threading.Barrier(threads_n)
+
+    def hammer():
+        start.wait()
+        for i in range(reads_per_thread):
+            tiered.get_text("gp", f"missing-{i}")
+
+    threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert tiered.degraded_reads == threads_n * reads_per_thread + 1
+    assert tiered.degraded_ops == tiered.degraded_reads

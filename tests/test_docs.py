@@ -46,6 +46,22 @@ def test_checker_catches_a_broken_fence(tmp_path):
     assert broken[0][0] == "README.md" and broken[0][1] == 2
 
 
+def test_lint_rule_catalog_in_sync():
+    checker = _load_checker()
+    assert checker.check_rule_catalog(_ROOT) == []
+
+
+def test_catalog_checker_catches_drift(tmp_path):
+    """A ghost heading and a missing rule are both reported."""
+    checker = _load_checker()
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "lint.md").write_text("### RPR999 — ghost rule\n")
+    problems = checker.check_rule_catalog(str(tmp_path))
+    assert any("RPR999" in problem for problem in problems)
+    assert any("RPR001" in problem for problem in problems)
+
+
 def test_checker_catches_a_broken_link(tmp_path):
     checker = _load_checker()
     (tmp_path / "doc.md").write_text(

@@ -8,9 +8,11 @@ every ```` ```python ```` fence in the curated docs (``README.md`` and
 as Python, and — with ``--examples`` — that every ``examples/*.py``
 script imports cleanly in import-only mode (their
 ``if __name__ == "__main__"`` guards keep the actual runs out; new
-example scripts are discovered automatically).  CI runs all three;
-``tests/test_docs.py`` runs the link and fence checks as part of tier-1
-so rotted docs fail locally too.
+example scripts are discovered automatically).  It also keeps the
+``docs/lint.md`` rule catalog in sync with the ``repro lint`` registry
+(every registered rule id documented, no ghost headings).  CI runs all
+of these; ``tests/test_docs.py`` runs the link and fence checks as part
+of tier-1 so rotted docs fail locally too.
 
 Usage::
 
@@ -127,6 +129,41 @@ def check_fences(root: str) -> list:
     return broken
 
 
+def check_rule_catalog(root: str) -> list:
+    """docs/lint.md catalog drift against the registered lint rules.
+
+    Every registered rule id — plus the driver-level diagnostics
+    (RPR000 unused-suppression, E001 parse error) — must own a ``###``
+    heading in docs/lint.md, and every ``RPR``-shaped heading there
+    must name a known id, so the catalog can neither lag a new rule
+    nor keep advertising a deleted one.  Returns problem strings.
+    """
+    doc_rel = os.path.join("docs", "lint.md")
+    doc_path = os.path.join(root, doc_rel)
+    if not os.path.exists(doc_path):
+        return [f"{doc_rel} is missing (the lint rule catalog)"]
+    src = os.path.join(root, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.lint import PARSE_ERROR_ID, UNUSED_SUPPRESSION_ID, rule_ids
+
+    with open(doc_path, "r", encoding="utf-8") as fh:
+        text = _strip_code_fences(fh.read())
+    headings = re.findall(r"^###\s+(\S+)", text, flags=re.MULTILINE)
+    expected = set(rule_ids()) | {UNUSED_SUPPRESSION_ID, PARSE_ERROR_ID}
+    problems = []
+    for rule_id in sorted(expected - set(headings)):
+        problems.append(
+            f"{doc_rel}: no catalog heading for registered rule {rule_id}"
+        )
+    for heading in headings:
+        if re.fullmatch(r"RPR\d{3}", heading) and heading not in expected:
+            problems.append(
+                f"{doc_rel}: heading {heading} names no registered rule"
+            )
+    return problems
+
+
 def check_examples(root: str) -> list:
     """Import every examples/*.py; returns ``(script, error)`` failures."""
     failures = []
@@ -177,6 +214,13 @@ def main(argv: list = None) -> int:
         ok = False
     if not bad_fences:
         print("python fences parse")
+
+    catalog_problems = check_rule_catalog(args.root)
+    for problem in catalog_problems:
+        print(problem)
+        ok = False
+    if not catalog_problems:
+        print("lint rule catalog matches the registry")
 
     if args.examples:
         failures = check_examples(args.root)

@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Run ``repro lint`` over the repository without installing the package.
+
+A thin wrapper for CI and pre-commit use: it puts ``src/`` on
+``sys.path``, anchors the lint root at the repository (so display paths
+and rule scopes are identical wherever you invoke it from), and defers
+everything else to the ``repro lint`` CLI — flags pass straight
+through::
+
+    python tools/lint.py                      # all rules, all shipped code
+    python tools/lint.py --format=github      # CI annotations
+    python tools/lint.py --rule RPR003 src    # one rule, one tree
+
+Exit code 0 = clean, 1 = findings, 2 = usage error (same contract as
+``repro lint``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.cli import main  # noqa: E402  (path setup must precede)
+
+if __name__ == "__main__":
+    argv = ["lint", "--root", _ROOT] + sys.argv[1:]
+    sys.exit(main(argv))

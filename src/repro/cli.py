@@ -19,6 +19,11 @@ Examples::
     python -m repro worker --coordinator http://cache-host:8765
     python -m repro sweep --fleet http://cache-host:8765 --seeds 10
     python -m repro fleet status --coordinator http://cache-host:8765
+    python -m repro serve --store sqlite:shared.db --token s3cret --workers 4
+    python -m repro submit --service http://job-host:8766 --spec spec.json --wait
+    python -m repro status --service http://job-host:8766 run0001-abcd1234
+    python -m repro results --service http://job-host:8766 run0001-abcd1234
+    python -m repro cancel --service http://job-host:8766 run0001-abcd1234
 
 ``tables`` assembles Fig. 9 / Tables II–III from the same content-addressed
 artifact cache sweeps use (see ``docs/tables.md``): the table text goes to
@@ -36,6 +41,7 @@ HTTP, and ``cache`` inspects (``stats``), expires (``gc``) and syncs
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -77,8 +83,10 @@ from repro.orchestration import (
     run_sweep,
     run_worker,
     serve_cache,
+    serve_jobs,
     sync_stores,
 )
+from repro.orchestration.service import ServiceClient, ServiceError
 from repro.topologies import PAPER_TOPOLOGIES, available_topologies, get_topology
 from repro.visualization import render_layout, save_layout_json
 
@@ -414,6 +422,137 @@ def _cmd_worker(args) -> int:
         flush=True,
     )
     return 0 if stats.failed == 0 else 1
+
+
+def _cmd_serve(args) -> int:
+    tokens = list(args.token or [])
+    env_token = os.environ.get("REPRO_SERVICE_TOKEN")
+    if env_token:
+        tokens.append(env_token)
+    if not tokens:
+        print(
+            "serve: at least one --token (or REPRO_SERVICE_TOKEN) is "
+            "required — the job service never runs unauthenticated",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        service = serve_jobs(
+            args.store,
+            tokens,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            runs_root=args.runs_root,
+            lease_ttl_s=args.lease_ttl_s,
+            max_attempts=args.max_attempts,
+            quiet=args.quiet,
+        )
+    except (StoreError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    service.start()
+    print(
+        f"serving jobs at {service.url} ({args.workers} workers, "
+        f"{len(tokens)} tokens; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
+def _service_client(args) -> ServiceClient:
+    token = args.token or os.environ.get("REPRO_SERVICE_TOKEN")
+    if not token:
+        raise ServiceError(
+            "no bearer token: pass --token or set REPRO_SERVICE_TOKEN"
+        )
+    return ServiceClient(args.service, token)
+
+
+def _cmd_submit(args) -> int:
+    try:
+        client = _service_client(args)
+        if args.spec == "-":
+            document = json.load(sys.stdin)
+        else:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        receipt = client.submit(document)
+    except (OSError, ValueError, ServiceError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"run {receipt['run_id']}: {receipt['num_jobs']} jobs, "
+        f"{receipt['num_cells']} cells, {receipt['shared_jobs']} shared "
+        "with runs already in flight",
+        flush=True,
+    )
+    if not args.wait:
+        return 0
+    try:
+        status = client.wait(receipt["run_id"], poll_s=args.poll_s)
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"run {status['run_id']}: {status['state']} — "
+        f"{status['computed']} computed, {status['cached']} cached, "
+        f"{len(status['failures'])} failed attempts",
+        flush=True,
+    )
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_status(args) -> int:
+    try:
+        status = _service_client(args).status(args.run_id)
+    except ServiceError as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0 if status["state"] != "failed" else 1
+
+
+def _cmd_results(args) -> int:
+    try:
+        reply = _service_client(args).results(args.run_id, after=args.after)
+    except ServiceError as exc:
+        print(f"results: {exc}", file=sys.stderr)
+        return 1
+    for row in reply["rows"]:
+        # Rows are echoed verbatim in stream order — sorting keys here
+        # would diverge from results.jsonl.
+        print(json.dumps(row))
+    print(
+        f"results: state={reply['state']} next={reply['next']} "
+        f"complete={reply['complete']}",
+        file=sys.stderr,
+    )
+    return 0 if reply["state"] in ("done", "running", "queued") else 1
+
+
+def _cmd_cancel(args) -> int:
+    try:
+        reply = _service_client(args).cancel(args.run_id)
+    except ServiceError as exc:
+        print(f"cancel: {exc}", file=sys.stderr)
+        return 1
+    if reply.get("already_cancelled"):
+        print(f"run {args.run_id}: already cancelled")
+    else:
+        print(
+            f"run {args.run_id}: cancelled {reply['cancelled']} queued "
+            f"jobs ({reply['skipped']} already running or finished, "
+            f"{reply.get('shared', 0)} shared with other runs kept)"
+        )
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -1008,6 +1147,142 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-job progress"
     )
 
+    serve_jobs_parser = sub.add_parser(
+        "serve",
+        help="multi-tenant job service: accept, schedule and run sweeps",
+        description="Serve placement-as-a-service: authenticated tenants "
+        "submit sweep specs over HTTP (POST /v1/run), a fair scheduler "
+        "multiplexes their runs over one shared worker pool and artifact "
+        "store (overlapping jobs compute once fleet-wide), and results "
+        "stream back incrementally.  Every endpoint requires a bearer "
+        "token.  See docs/service.md.",
+    )
+    serve_jobs_parser.add_argument(
+        "--store",
+        default="dir:.repro_cache",
+        help=f"{store_help} (default: dir:.repro_cache)",
+    )
+    serve_jobs_parser.add_argument(
+        "--token",
+        action="append",
+        default=None,
+        metavar="SECRET",
+        help="accepted bearer token (repeatable: one per tenant; "
+        "REPRO_SERVICE_TOKEN adds one more)",
+    )
+    serve_jobs_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_jobs_parser.add_argument(
+        "--port",
+        type=int,
+        default=8766,
+        help="bind port (default 8766; 0 picks an ephemeral port, "
+        "printed on startup)",
+    )
+    serve_jobs_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="executor threads shared by all tenants (default 2)",
+    )
+    serve_jobs_parser.add_argument(
+        "--runs-root",
+        default=None,
+        metavar="DIR",
+        help="persist each completed run's results.jsonl + manifest.json "
+        "under DIR/<run_id>/ (default: not persisted)",
+    )
+    serve_jobs_parser.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=60.0,
+        help="internal lease TTL for the worker pool (default 60)",
+    )
+    serve_jobs_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per job before it fails permanently (default 3)",
+    )
+    serve_jobs_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+
+    service_url_help = "the repro serve URL (e.g. http://job-host:8766)"
+    token_help = (
+        "bearer token (default: the REPRO_SERVICE_TOKEN environment "
+        "variable)"
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep spec to a repro serve instance",
+        description="POST a SweepSpec JSON document (or the single-flow "
+        "shorthand {\"topology\", \"benchmark\", \"engine\"}) to a job "
+        "service and print the run receipt.  With --wait, poll until "
+        "the run reaches a terminal state.",
+    )
+    submit.add_argument("--service", required=True, help=service_url_help)
+    submit.add_argument("--token", default=None, help=token_help)
+    submit.add_argument(
+        "--spec",
+        required=True,
+        metavar="PATH",
+        help="path of the spec JSON document ('-' reads stdin)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the run finishes; exit 0 only on state=done",
+    )
+    submit.add_argument(
+        "--poll-s",
+        type=float,
+        default=2.0,
+        help="status poll interval with --wait (default 2s)",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="print one service run's progress document",
+    )
+    status.add_argument("run_id", help="the run id from repro submit")
+    status.add_argument("--service", required=True, help=service_url_help)
+    status.add_argument("--token", default=None, help=token_help)
+
+    results = sub.add_parser(
+        "results",
+        help="print a service run's result rows as JSONL",
+        description="Print result rows (stdout, one JSON object per "
+        "line, plan order — the same stream results.jsonl holds) and a "
+        "state/cursor footer on stderr.  --after resumes an "
+        "incremental read from a previous cursor.",
+    )
+    results.add_argument("run_id", help="the run id from repro submit")
+    results.add_argument("--service", required=True, help=service_url_help)
+    results.add_argument("--token", default=None, help=token_help)
+    results.add_argument(
+        "--after",
+        type=int,
+        default=0,
+        help="skip rows before this cursor (default 0; the previous "
+        "call's 'next' value resumes the stream)",
+    )
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a service run's queued jobs",
+        description="Withdraw the run's queued jobs.  Jobs shared with "
+        "another tenant's live run keep running; jobs already leased "
+        "finish and land in the shared cache.",
+    )
+    cancel.add_argument("run_id", help="the run id from repro submit")
+    cancel.add_argument("--service", required=True, help=service_url_help)
+    cancel.add_argument("--token", default=None, help=token_help)
+
     lint = sub.add_parser(
         "lint",
         help="static invariant checks: determinism, key purity, locks",
@@ -1085,6 +1360,11 @@ _HANDLERS = {
     "diff": _cmd_diff,
     "cache": _cmd_cache,
     "serve-cache": _cmd_serve_cache,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "results": _cmd_results,
+    "cancel": _cmd_cancel,
     "worker": _cmd_worker,
     "fleet": _cmd_fleet,
     "lint": _cmd_lint,

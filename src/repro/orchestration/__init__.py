@@ -21,9 +21,16 @@ server's ``/v1/fleet`` endpoints, ``repro worker`` processes pull
 leased job batches through :mod:`~repro.orchestration.worker`, and
 :func:`run_fleet_sweep` plans, enqueues and watches a whole fleet
 sweep — with bounded retry/backoff on every remote store call and
-graceful degradation of tiered stores underneath.  See
-``docs/orchestration.md``, ``docs/storage.md``, ``docs/fleet.md`` and
-``docs/tables.md``.
+graceful degradation of tiered stores underneath.
+
+On top of all of that sits placement-as-a-service: ``repro serve``
+(:mod:`~repro.orchestration.service`) is an authenticated multi-tenant
+front door that plans submitted sweeps, schedules them fairly over one
+shared worker pool (:mod:`~repro.orchestration.scheduler`) and one
+shared store, computes overlapping jobs once fleet-wide, and streams
+per-run results and diff-compatible manifests back over HTTP.  See
+``docs/orchestration.md``, ``docs/storage.md``, ``docs/fleet.md``,
+``docs/service.md`` and ``docs/tables.md``.
 """
 
 from repro.orchestration.backends import (
@@ -47,6 +54,7 @@ from repro.orchestration.coordinator import (
     FleetClient,
     FleetCoordinator,
     FleetError,
+    LocalFleetClient,
     serialize_graph,
 )
 from repro.orchestration.diff import (
@@ -62,6 +70,15 @@ from repro.orchestration.executor import (
     run_jobs,
 )
 from repro.orchestration.jobs import Job, JobGraph, job_key
+from repro.orchestration.scheduler import FairScheduler
+from repro.orchestration.service import (
+    JobService,
+    ServiceClient,
+    ServiceError,
+    ServiceToken,
+    serve_jobs,
+    spec_from_document,
+)
 from repro.orchestration.sink import RunSink, read_jsonl
 from repro.orchestration.stages import (
     config_from_dict,
@@ -96,18 +113,24 @@ __all__ = [
     "DEFAULT_RETRY_POLICY",
     "DependencyUnavailable",
     "DirBackend",
+    "FairScheduler",
     "FleetClient",
     "FleetCoordinator",
     "FleetError",
     "Job",
     "JobFailure",
     "JobGraph",
+    "JobService",
     "JobTimeout",
+    "LocalFleetClient",
     "RemoteHTTPBackend",
     "RetryPolicy",
     "RunDiff",
     "RunSink",
     "RunStats",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceToken",
     "SqliteBackend",
     "StoreBackend",
     "StoreError",
@@ -139,5 +162,7 @@ __all__ = [
     "run_worker",
     "serialize_graph",
     "serve_cache",
+    "serve_jobs",
+    "spec_from_document",
     "sync_stores",
 ]

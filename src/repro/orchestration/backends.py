@@ -47,7 +47,7 @@ import urllib.request
 import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 
 class StoreError(RuntimeError):
@@ -178,6 +178,23 @@ class StoreBackend(ABC):
     @abstractmethod
     def describe(self) -> str:
         """The backend's canonical store URL (``dir:...``, etc.)."""
+
+    def get_many(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], Optional[str]]:
+        """Fetch several artifacts: ``(kind, key) -> text`` (None = absent).
+
+        The default loops over :meth:`get_text`; remote backends
+        override it with a batched protocol so a resume check over N
+        artifacts costs ``ceil(N / batch_size)`` round trips, not N.
+        """
+        return {(kind, key): self.get_text(kind, key) for kind, key in pairs}
+
+    def has_many(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], bool]:
+        """Existence probes for several artifacts at once (see get_many)."""
+        return {(kind, key): self.has(kind, key) for kind, key in pairs}
 
     def close(self) -> None:
         """Release backend resources (connections, sockets); idempotent."""
@@ -382,6 +399,21 @@ class RemoteHTTPBackend(StoreBackend):
     once the whole budget is exhausted: a dropped TCP connection or one
     503 from a busy cache server costs a short sleep, not a sweep.
     ``transient_failures`` counts the faults absorbed this way.
+
+    Multi-key reads (:meth:`get_many` / :meth:`has_many`) use the
+    batched ``POST /v1/artifacts/get`` / ``.../head`` protocol in
+    chunks of ``batch_size``, so a fleet resume check over N artifacts
+    costs ``ceil(N / batch_size)`` round trips instead of N.  A server
+    predating the batch endpoints (which answers them 404 — or 400 for
+    the oldest protocol revision) is detected on the first batched call
+    and the backend silently degrades to per-key requests; every
+    degraded multi-key call is counted in ``batch_fallbacks``, and
+    ``requests`` counts HTTP round trips issued (the batch acceptance
+    test pins the N → ceil(N/batch) reduction through it).
+
+    ``token`` attaches ``Authorization: Bearer <token>`` to every
+    request — required when the server is an authenticated ``repro
+    serve`` service rather than a trusted-network ``serve-cache``.
     """
 
     def __init__(
@@ -391,12 +423,21 @@ class RemoteHTTPBackend(StoreBackend):
         retry: Optional[RetryPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
         rng: Optional[random.Random] = None,
+        batch_size: int = 128,
+        token: Optional[str] = None,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.retry = retry or DEFAULT_RETRY_POLICY
+        self.batch_size = batch_size
+        self.token = token
         self._stats_lock = threading.Lock()
         self.transient_failures = 0  # guarded-by: _stats_lock
+        self.requests = 0  # guarded-by: _stats_lock — HTTP round trips
+        self.batch_fallbacks = 0  # guarded-by: _stats_lock
+        self._batch_supported: Optional[bool] = None  # guarded-by: _stats_lock
         self._sleep = sleep
         # repro: lint-ignore[RPR001] retry jitter must decorrelate across
         # workers; it never reaches a payload or content key
@@ -416,9 +457,13 @@ class RemoteHTTPBackend(StoreBackend):
         body: Optional[bytes] = None,
     ) -> Tuple[int, bytes]:
         """One HTTP round trip; connection faults raise StoreUnavailable."""
+        with self._stats_lock:
+            self.requests += 1
         request = urllib.request.Request(url, data=body, method=method)
         if body is not None:
             request.add_header("Content-Type", "application/json")
+        if self.token is not None:
+            request.add_header("Authorization", f"Bearer {self.token}")
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout_s
@@ -493,6 +538,94 @@ class RemoteHTTPBackend(StoreBackend):
         if status == 404:
             return False
         raise StoreError(f"HEAD {kind}/{key[:12]} failed: HTTP {status}")
+
+    def _batch_request(
+        self, verb: str, chunk: List[Tuple[str, str]]
+    ) -> Optional[List[object]]:
+        """One batched round trip; None means the server lacks the endpoint.
+
+        ``verb`` is ``get`` or ``head``; the reply's ``items`` list is
+        positional (one entry per requested pair): text-or-null for
+        ``get``, booleans for ``head``.  Legacy servers answer the
+        batch path with 404 (or 400 on the oldest protocol revision,
+        whose POST handler rejected unknown paths wholesale); both mean
+        "fall back to per-key calls", not an error.
+        """
+        body = json.dumps(  # repro: lint-ignore[RPR002] transport body
+            {"items": [{"kind": kind, "key": key} for kind, key in chunk]}
+        ).encode("utf-8")
+        status, payload = self._request(
+            f"{self.base_url}/v1/artifacts/{verb}", method="POST", body=body
+        )
+        if status in (400, 404):
+            return None
+        if status != 200:
+            raise StoreError(
+                f"POST /v1/artifacts/{verb} failed: HTTP {status}"
+            )
+        items = json.loads(payload.decode("utf-8"))["items"]
+        if not isinstance(items, list) or len(items) != len(chunk):
+            raise StoreError(
+                f"batch {verb} returned {len(items)} items for "
+                f"{len(chunk)} keys"
+            )
+        return items
+
+    def _many(
+        self, verb: str, pairs: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], Optional[str]]:
+        """Shared chunking/fallback driver for get_many and has_many.
+
+        For ``head`` the per-pair value is the sentinel ``""`` when the
+        artifact exists and None when absent (callers map to bool).
+        """
+        todo = list(pairs)
+        out: Dict[Tuple[str, str], Optional[str]] = {}
+        with self._stats_lock:
+            supported = self._batch_supported
+        if supported is not False:
+            while todo:
+                chunk = todo[: self.batch_size]
+                items = self._batch_request(verb, chunk)
+                if items is None:
+                    with self._stats_lock:
+                        self._batch_supported = False
+                    break
+                with self._stats_lock:
+                    self._batch_supported = True
+                for (kind, key), item in zip(chunk, items):
+                    if verb == "head":
+                        out[(kind, key)] = "" if item else None
+                    elif item is None or isinstance(item, str):
+                        out[(kind, key)] = item
+                    else:
+                        raise StoreError(
+                            f"batch get returned a non-text item for "
+                            f"{kind}/{key[:12]}"
+                        )
+                todo = todo[self.batch_size:]
+        if todo:
+            with self._stats_lock:
+                self.batch_fallbacks += 1
+        for kind, key in todo:
+            if verb == "head":
+                out[(kind, key)] = "" if self.has(kind, key) else None
+            else:
+                out[(kind, key)] = self.get_text(kind, key)
+        return out
+
+    def get_many(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], Optional[str]]:
+        return self._many("get", pairs)
+
+    def has_many(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], bool]:
+        return {
+            pair: value is not None
+            for pair, value in self._many("head", pairs).items()
+        }
 
     def entries(self) -> List[ArtifactEntry]:
         status, body = self._request(f"{self.base_url}/v1/list")
@@ -631,6 +764,60 @@ class TieredBackend(StoreBackend):
             self._remote_down(write=False, exc=exc)
             return False
 
+    def get_many(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], Optional[str]]:
+        """Local first, then one batched remote fetch for the misses.
+
+        Remote hits are written back to the local layer (same
+        read-through contract as :meth:`get_text`), so a warm resume
+        check costs one batch per :attr:`RemoteHTTPBackend.batch_size`
+        chunk, then nothing.
+        """
+        wanted = list(pairs)
+        out: Dict[Tuple[str, str], Optional[str]] = {}
+        misses: List[Tuple[str, str]] = []
+        for kind, key in wanted:
+            text = self.local.get_text(kind, key)
+            if text is None:
+                misses.append((kind, key))
+            else:
+                out[(kind, key)] = text
+        if misses:
+            try:
+                fetched = self.remote.get_many(misses)
+            except StoreUnavailable as exc:
+                if not self.degrade:
+                    raise
+                self._remote_down(write=False, exc=exc)
+                fetched = {pair: None for pair in misses}
+            for (kind, key), text in fetched.items():
+                if text is not None:
+                    self.local.put_text(kind, key, text)
+                out[(kind, key)] = text
+        return out
+
+    def has_many(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], bool]:
+        wanted = list(pairs)
+        out: Dict[Tuple[str, str], bool] = {}
+        misses: List[Tuple[str, str]] = []
+        for kind, key in wanted:
+            if self.local.has(kind, key):
+                out[(kind, key)] = True
+            else:
+                misses.append((kind, key))
+        if misses:
+            try:
+                out.update(self.remote.has_many(misses))
+            except StoreUnavailable as exc:
+                if not self.degrade:
+                    raise
+                self._remote_down(write=False, exc=exc)
+                out.update({pair: False for pair in misses})
+        return out
+
     def entries(self) -> List[ArtifactEntry]:
         try:
             merged = {(e.kind, e.key): e for e in self.remote.entries()}
@@ -683,7 +870,14 @@ def backend_from_url(url: Union[str, StoreBackend]) -> StoreBackend:
     if url.startswith(("http://", "https://")):
         return RemoteHTTPBackend(url)
     scheme, sep, _rest = url.partition(":")
-    if sep and "/" not in scheme and scheme not in ("", "."):
+    if (
+        sep
+        and "/" not in scheme
+        and scheme not in ("", ".")
+        # A single letter before ":" is a Windows drive (C:\cache), not
+        # a URL scheme — fall through to the bare-path branch.
+        and not (len(scheme) == 1 and scheme.isalpha())
+    ):
         raise ValueError(
             f"unsupported store URL scheme {scheme!r} in {url!r}; "
             f"supported: {', '.join(SUPPORTED_SCHEMES)} or a bare path"

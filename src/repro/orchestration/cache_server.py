@@ -15,7 +15,16 @@ hit.  The protocol is deliberately minimal JSON-over-HTTP:
 ``GET  /v1/list``                     ``{"entries": [{kind,key,size,mtime}]}``
 ``GET  /v1/stats``                    ``{"entries": N, "bytes": M}``
 ``GET  /v1/ping``                     ``{"ok": true, "store": "<url>", "fleet": bool}``
+``POST /v1/artifacts/get``            batched GET: ``{"items": [{kind,key}]}``
+``POST /v1/artifacts/head``           batched HEAD (items are booleans)
 ====================================  =======================================
+
+The two batched routes answer one round trip per
+:attr:`~repro.orchestration.backends.RemoteHTTPBackend.batch_size`
+chunk of keys (reply ``items`` are positional: text-or-null for
+``get``, booleans for ``head``); clients feature-detect them and fall
+back to per-key calls against servers predating this protocol
+revision.
 
 With a :class:`~repro.orchestration.coordinator.FleetCoordinator`
 attached (``repro serve-cache --fleet``) the server additionally speaks
@@ -70,12 +79,24 @@ _FLEET_VERBS = {
     "/v1/fleet/lease": "lease",
     "/v1/fleet/heartbeat": "heartbeat",
     "/v1/fleet/complete": "complete",
+    "/v1/fleet/withdraw": "withdraw",
 }
 
 _NO_FLEET = (
     "fleet endpoints disabled; restart the server with "
     "`repro serve-cache --fleet`"
 )
+
+#: POST routes of the batched artifact protocol → verb.
+_BATCH_VERBS = {
+    "/v1/artifacts/get": "get",
+    "/v1/artifacts/head": "head",
+}
+
+#: Refuse batch requests larger than any sane client chunk — the
+#: shipped client never sends more than its ``batch_size`` (default
+#: 128), so this only trips hand-rolled abuse.
+MAX_BATCH_ITEMS = 4096
 
 
 def _parse_artifact_path(path: str) -> Optional[Tuple[str, str]]:
@@ -227,8 +248,50 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self.backend.put_text(*located, text)
         self._send(204)
 
+    def _do_batch(self, verb: str) -> None:
+        """Batched multi-key artifact reads (``/v1/artifacts/get|head``)."""
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            document = json.loads(body.decode("utf-8"))
+            items = document["items"]
+            if not isinstance(items, list):
+                raise ValueError("items must be a list")
+        except (UnicodeDecodeError, ValueError, TypeError, KeyError):
+            self._bad_request("body is not {\"items\": [...]}")
+            return
+        if len(items) > MAX_BATCH_ITEMS:
+            self._bad_request(
+                f"batch of {len(items)} items exceeds the server "
+                f"limit of {MAX_BATCH_ITEMS}"
+            )
+            return
+        pairs = []
+        for item in items:
+            if not isinstance(item, dict):
+                self._bad_request("each item must be {\"kind\", \"key\"}")
+                return
+            kind, key = str(item.get("kind", "")), str(item.get("key", ""))
+            if not (_SAFE_SEGMENT.match(kind) and _SAFE_SEGMENT.match(key)):
+                self._bad_request(f"invalid kind/key {kind!r}/{key!r}")
+                return
+            pairs.append((kind, key))
+        if verb == "head":
+            probed = self.backend.has_many(pairs)
+            self._send_json(
+                200, {"items": [probed[pair] for pair in pairs]}
+            )
+            return
+        fetched = self.backend.get_many(pairs)
+        self._send_json(200, {"items": [fetched[pair] for pair in pairs]})
+
     def do_POST(self) -> None:  # noqa: N802
-        """The fleet protocol: enqueue / lease / heartbeat / complete."""
+        """The fleet and batched-artifact protocols."""
+        batch_verb = _BATCH_VERBS.get(self.path)
+        if batch_verb is not None and self.server.batch_endpoints:
+            self._do_batch(batch_verb)
+            return
         verb = _FLEET_VERBS.get(self.path)
         if verb is None:
             self._bad_request(f"unrecognized path {self.path!r}")
@@ -256,6 +319,8 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
                 )
             elif verb == "heartbeat":
                 reply = coordinator.heartbeat(document["worker"])
+            elif verb == "withdraw":
+                reply = coordinator.withdraw(document["keys"])
             else:  # complete
                 reply = coordinator.complete(
                     document["worker"],
@@ -302,16 +367,23 @@ class CacheServer:
         coordinator: Optional["FleetCoordinator"] = None,
         max_body_bytes: int = MAX_BODY_BYTES,
         socket_timeout_s: Optional[float] = DEFAULT_SOCKET_TIMEOUT_S,
+        batch_endpoints: bool = True,
+        handler_class: type = _CacheRequestHandler,
     ) -> None:
         self.backend = backend
         self.coordinator = coordinator
-        self._httpd = ThreadingHTTPServer((host, port), _CacheRequestHandler)
+        # ``batch_endpoints=False`` simulates a server predating the
+        # batched-artifact protocol (mixed-version fleet tests);
+        # ``handler_class`` lets the job service layer its routes on
+        # top of this protocol without a second HTTP server.
+        self._httpd = ThreadingHTTPServer((host, port), handler_class)
         self._httpd.daemon_threads = True
         self._httpd.backend = backend
         self._httpd.quiet = quiet
         self._httpd.coordinator = coordinator
         self._httpd.max_body_bytes = max_body_bytes
         self._httpd.socket_timeout_s = socket_timeout_s
+        self._httpd.batch_endpoints = batch_endpoints
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 

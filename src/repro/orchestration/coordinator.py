@@ -57,8 +57,10 @@ from repro.orchestration.backends import (
 )
 from repro.orchestration.jobs import JobGraph
 
-#: A job's scheduling states inside the coordinator.
-JOB_STATES = ("pending", "ready", "leased", "done", "failed")
+#: A job's scheduling states inside the coordinator.  ``cancelled`` is
+#: terminal like ``done``/``failed``: a withdrawn job never runs and
+#: never counts as outstanding.
+JOB_STATES = ("pending", "ready", "leased", "done", "failed", "cancelled")
 
 #: Params echoed into ledger rows (mirrors RunStats.record's columns).
 _LEDGER_PARAMS = ("topology", "engine", "benchmark", "seed")
@@ -195,7 +197,7 @@ class FleetCoordinator:
         while stack:
             key = stack.pop()
             record = self._jobs[key]
-            if record.state in ("done", "failed"):
+            if record.state in ("done", "failed", "cancelled"):
                 continue
             record.state = "failed"
             record.worker = None
@@ -249,9 +251,27 @@ class FleetCoordinator:
             counts[job.state] += 1
         counts["total"] = len(self._jobs)
         counts["outstanding"] = (
-            counts["total"] - counts["done"] - counts["failed"]
+            counts["total"]
+            - counts["done"]
+            - counts["failed"]
+            - counts["cancelled"]
         )
         return counts
+
+    def _select_ready(self, max_jobs: int) -> List[_FleetJob]:  # holds: _lock
+        """The ready jobs to lease next, in insertion (= topo) order.
+
+        The single scheduling-policy override point: the multi-tenant
+        job service's fair scheduler replaces this with a round-robin
+        pick across runs without re-implementing lease bookkeeping.
+        """
+        granted: List[_FleetJob] = []
+        for job in self._jobs.values():
+            if len(granted) >= max_jobs:
+                break
+            if job.state == "ready":
+                granted.append(job)
+        return granted
 
     # -- the five fleet verbs ---------------------------------------------
     def enqueue(self, jobs: List[dict]) -> dict:
@@ -263,11 +283,31 @@ class FleetCoordinator:
         enqueueing overlapping DAGs share the overlap's work.
         """
         with self._lock:
-            accepted = known = 0
+            accepted = known = resurrected = 0
             for row in jobs:
                 key = row["key"]
-                if key in self._jobs:
-                    known += 1
+                existing = self._jobs.get(key)
+                if existing is not None:
+                    if existing.state == "cancelled":
+                        # A withdrawn job a new submitter wants again:
+                        # bring it back with a fresh attempt budget.
+                        # Rows arrive in topo order, so cancelled deps
+                        # were resurrected just above; the _dependents
+                        # edges from the original registration are
+                        # still in place (cancellation never removes
+                        # them), only _waiting needs recomputing.
+                        unfinished = [
+                            d for d in existing.deps
+                            if self._jobs[d].state != "done"
+                        ]
+                        self._waiting[key] = len(unfinished)
+                        existing.state = "pending" if unfinished else "ready"
+                        existing.attempts = 0
+                        existing.worker = None
+                        existing.deadline = None
+                        resurrected += 1
+                    else:
+                        known += 1
                     continue
                 deps = list(row.get("deps", ()))
                 for dep in deps:
@@ -312,7 +352,13 @@ class FleetCoordinator:
                     )
                     self._fail_permanently(job)
             summary = self._counts()
-            summary.update({"accepted": accepted, "known": known})
+            summary.update(
+                {
+                    "accepted": accepted,
+                    "known": known,
+                    "resurrected": resurrected,
+                }
+            )
             return summary
 
     def lease(self, worker: str, max_jobs: int = 1) -> dict:
@@ -330,11 +376,7 @@ class FleetCoordinator:
             self._expire(now)
             self._workers[worker] = now
             granted = []
-            for job in self._jobs.values():
-                if len(granted) >= max_jobs:
-                    break
-                if job.state != "ready":
-                    continue
+            for job in self._select_ready(max_jobs):
                 job.state = "leased"
                 job.worker = worker
                 job.deadline = now + self.lease_ttl_s
@@ -403,6 +445,11 @@ class FleetCoordinator:
                 # dependents were already failed in cascade.
                 return {"result": "already-failed", "outstanding":
                         self._counts()["outstanding"]}
+            if job.state == "cancelled":
+                # Withdrawn after this worker's lease expired; the run
+                # that wanted the artifact is gone, so just acknowledge.
+                return {"result": "cancelled", "outstanding":
+                        self._counts()["outstanding"]}
             if status in ("computed", "cached"):
                 job.state = "done"
                 job.result = status
@@ -428,6 +475,56 @@ class FleetCoordinator:
                     job.deadline = None
             counts = self._counts()
             return {"result": status, "outstanding": counts["outstanding"]}
+
+    def withdraw(self, keys: List[str]) -> dict:
+        """Cancel queued (pending / ready) jobs; cascades to dependents.
+
+        A job that is already leased, done, failed or cancelled is left
+        alone — cancellation never interrupts a running worker and
+        never un-does a terminal state.  Dependents of a cancelled job
+        are cancelled in cascade (they could never run), which keeps
+        the "every job reaches a terminal state" liveness invariant
+        even when a caller withdraws a non-closed key set.  Callers
+        multiplexing tenants (the job service) must only withdraw keys
+        no other live run needs — content-addressed DAGs make the
+        shared-ness check a set intersection on the callers' side.
+
+        Returns ``{"cancelled": n, "skipped": m, "outstanding": k}``.
+        """
+        with self._lock:
+            now = self._clock()
+            self._expire(now)
+            cancelled = skipped = 0
+            stack = []
+            for key in keys:
+                job = self._jobs.get(key)
+                if job is None:
+                    raise ValueError(f"unknown job key {key[:12]}")
+                stack.append(key)
+            # Each job is judged once: a key reached both directly and
+            # through the cascade must not inflate ``skipped`` (which
+            # counts jobs that were genuinely leased/terminal already).
+            seen: set = set()
+            while stack:
+                key = stack.pop()
+                if key in seen:
+                    continue
+                seen.add(key)
+                job = self._jobs[key]
+                if job.state not in ("pending", "ready"):
+                    skipped += 1
+                    continue
+                job.state = "cancelled"
+                job.worker = None
+                job.deadline = None
+                cancelled += 1
+                stack.extend(self._dependents.get(key, ()))
+            counts = self._counts()
+            return {
+                "cancelled": cancelled,
+                "skipped": skipped,
+                "outstanding": counts["outstanding"],
+            }
 
     def status(self) -> dict:
         """Progress counters plus the completion / failure ledgers."""
@@ -556,6 +653,51 @@ class FleetClient:
             document["error"] = error
         return self._call("/v1/fleet/complete", document)
 
+    def withdraw(self, keys: List[str]) -> dict:
+        """Cancel queued jobs (see :meth:`FleetCoordinator.withdraw`)."""
+        return self._call("/v1/fleet/withdraw", {"keys": keys})
+
     def status(self) -> dict:
         """The coordinator's progress counters and ledgers."""
         return self._call("/v1/fleet/status")
+
+
+class LocalFleetClient:
+    """The fleet-client protocol bound to an in-process coordinator.
+
+    :func:`~repro.orchestration.worker.run_worker` accepts any object
+    speaking enqueue/lease/heartbeat/complete/status; this adapter lets
+    worker loops run as threads inside the same process as their
+    coordinator — the job service's executor pool — with zero HTTP in
+    the path and the exact same semantics the wire protocol has.
+    """
+
+    #: Mirrors :attr:`FleetClient.base_url` for manifest provenance.
+    base_url = "local:"
+
+    def __init__(self, coordinator: FleetCoordinator) -> None:
+        self._coordinator = coordinator
+
+    def enqueue(self, jobs: List[dict]) -> dict:
+        return self._coordinator.enqueue(jobs)
+
+    def lease(self, worker: str, max_jobs: int = 1) -> dict:
+        return self._coordinator.lease(worker, max_jobs)
+
+    def heartbeat(self, worker: str) -> dict:
+        return self._coordinator.heartbeat(worker)
+
+    def complete(
+        self,
+        worker: str,
+        key: str,
+        status: str,
+        error: Optional[dict] = None,
+    ) -> dict:
+        return self._coordinator.complete(worker, key, status, error=error)
+
+    def withdraw(self, keys: List[str]) -> dict:
+        return self._coordinator.withdraw(keys)
+
+    def status(self) -> dict:
+        return self._coordinator.status()

@@ -282,7 +282,14 @@ def run_jobs(
     results = {}
     pending = []
 
-    for job in graph.ordered():
+    ordered = graph.ordered()
+    if resume:
+        # One batched pass warms the store's memory layer, so the
+        # per-job gets below are memory reads — against a remote
+        # backend the resume check costs ceil(N / batch_size) round
+        # trips instead of one per job.
+        store.prefetch([(job.kind, job.key) for job in ordered])
+    for job in ordered:
         payload = store.get(job.kind, job.key) if resume else None
         if payload is not None:
             results[job.key] = payload

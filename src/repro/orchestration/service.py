@@ -1,0 +1,796 @@
+"""``repro serve``: placement-as-a-service over the shared fleet stack.
+
+The cache server gives the fleet a shared artifact store and the
+coordinator gives it lease-based execution, but a client still has to
+own the process pool.  The job service is the missing front door: one
+process that accepts sweep submissions from many authenticated tenants,
+schedules them fairly over one shared worker pool
+(:class:`~repro.orchestration.scheduler.FairScheduler`) and one shared
+store, and streams each run's results back incrementally.  Because
+jobs are content-addressed, overlapping submissions from different
+tenants compute the overlap **once** fleet-wide — each run's manifest
+charges a shared job as ``computed`` to exactly one tenant and
+``cached`` to every other, so the counters add up across tenants.
+
+The HTTP protocol (everything the cache server speaks, plus):
+
+=====================================  ==================================
+``POST   /v1/run``                     submit a sweep → ``{"run_id"}``
+``GET    /v1/run/<id>``                status: counts, state, failures
+``GET    /v1/run/<id>/results``        result rows (``?after=N`` resumes)
+``GET    /v1/run/<id>/manifest``       diff-compatible run manifest
+``DELETE /v1/run/<id>``                cancel the run's queued jobs
+=====================================  ==================================
+
+**Every** endpoint — including the inherited artifact and fleet routes —
+requires ``Authorization: Bearer <token>``; tokens are compared in
+constant time (:func:`hmac.compare_digest`, all tokens always checked)
+and may carry an expiry.  A request without a valid live token gets
+``401 {"error": "unauthorized"}`` and nothing else — no path echo, no
+hint which part failed.  The trusted-network ``repro serve-cache``
+stays unauthenticated; run the service when the network isn't trusted
+or tenants must be told apart.
+
+Submissions are :class:`~repro.orchestration.sweep.SweepSpec` documents
+(or the single-flow shorthand ``{"topology", "benchmark", "engine"}``);
+planning reuses :func:`~repro.orchestration.sweep.plan_sweep`,
+execution reuses the coordinator/worker stack in-process, and results
+are bit-identical to a serial :func:`~repro.orchestration.sweep
+.run_sweep` of the same spec.  Completed runs are persisted under
+``<runs_root>/<run_id>/`` as ``results.jsonl`` + ``manifest.json``,
+the same layout every other run producer writes (``repro diff`` reads
+them directly).  See ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import os
+import re
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.orchestration.backends import StoreBackend
+from repro.orchestration.cache_server import CacheServer, _CacheRequestHandler
+from repro.orchestration.coordinator import LocalFleetClient, serialize_graph
+from repro.orchestration.executor import RunStats
+from repro.orchestration.scheduler import FairScheduler
+from repro.orchestration.sink import RunSink
+from repro.orchestration.store import ArtifactStore
+from repro.orchestration.sweep import SweepSpec, plan_sweep
+from repro.orchestration.worker import run_worker
+
+#: The states a run can report; terminal ones end a client's polling.
+TERMINAL_RUN_STATES = ("done", "failed", "cancelled")
+
+#: Fields a submitted spec document may carry (SweepSpec's surface).
+_SPEC_FIELDS = (
+    "topologies",
+    "benchmarks",
+    "engines",
+    "num_seeds",
+    "base_seed",
+    "detailed",
+    "config",
+    "noise",
+)
+
+#: Fields of the single-flow shorthand.
+_FLOW_FIELDS = (
+    "topology",
+    "benchmark",
+    "engine",
+    "num_seeds",
+    "base_seed",
+    "detailed",
+    "config",
+    "noise",
+)
+
+_RUN_ID_PATTERN = r"[A-Za-z0-9][A-Za-z0-9_.-]*"
+_RUN_PATH = re.compile(rf"^/v1/run/({_RUN_ID_PATTERN})$")
+_RESULTS_PATH = re.compile(rf"^/v1/run/({_RUN_ID_PATTERN})/results$")
+_MANIFEST_PATH = re.compile(rf"^/v1/run/({_RUN_ID_PATTERN})/manifest$")
+
+
+class ServiceError(RuntimeError):
+    """A job-service request failed (client side)."""
+
+
+@dataclass(frozen=True)
+class ServiceToken:
+    """One bearer token: the secret, its tenant, an optional expiry.
+
+    ``expires_s`` is a timestamp on the *service's* clock (the
+    injectable ``clock`` passed to :class:`JobService`, monotonic by
+    default); ``None`` never expires.
+    """
+
+    secret: str
+    tenant: str = "default"
+    expires_s: Optional[float] = None
+
+
+def spec_from_document(document: dict) -> SweepSpec:
+    """Build a :class:`SweepSpec` from a submitted JSON document.
+
+    Accepts either the full spec form (``topologies`` / ``benchmarks``
+    / ``engines`` lists plus the optional seed/config fields) or the
+    single-flow shorthand (``topology`` / ``benchmark`` / ``engine``
+    strings).  Unknown fields are rejected so a typo like ``topologys``
+    fails loudly instead of silently running the defaults.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("submission must be a JSON object")
+    if "topology" in document:
+        unknown = set(document) - set(_FLOW_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown flow fields: {', '.join(sorted(unknown))}"
+            )
+        for name in ("topology", "benchmark", "engine"):
+            if name not in document:
+                raise ValueError(f"flow submission is missing {name!r}")
+        translated = {
+            "topologies": (document["topology"],),
+            "benchmarks": (document["benchmark"],),
+            "engines": (document["engine"],),
+        }
+        for name in ("num_seeds", "base_seed", "detailed", "config", "noise"):
+            if name in document:
+                translated[name] = document[name]
+        return SweepSpec(**translated)
+    unknown = set(document) - set(_SPEC_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown spec fields: {', '.join(sorted(unknown))}"
+        )
+    for name in ("topologies", "benchmarks", "engines"):
+        if not document.get(name):
+            raise ValueError(f"spec is missing {name!r}")
+    return SweepSpec(**{k: document[k] for k in _SPEC_FIELDS if k in document})
+
+
+@dataclass
+class _ServiceRun:
+    """One submitted run's service-side bookkeeping."""
+
+    run_id: str
+    tenant: str
+    spec: dict  # JSON-safe SweepSpec form
+    cells: List[dict]  # {"topology","benchmark","engine","key"}, plan order
+    num_jobs: int
+    rows: List[dict] = field(default_factory=list)  # guarded-by: _runs_lock
+    cells_done: int = 0  # guarded-by: _runs_lock — cells consumed into rows
+    persisted: bool = False  # guarded-by: _runs_lock
+
+
+class _ServiceRequestHandler(_CacheRequestHandler):
+    """The cache-server protocol plus ``/v1/run``, all behind auth."""
+
+    server_version = "repro-service/1.0"
+
+    @property
+    def service(self) -> "JobService":
+        return self.server.service
+
+    def _tenant(self) -> Optional[str]:
+        """The tenant of a valid live bearer token, else None."""
+        header = self.headers.get("Authorization") or ""
+        if not header.startswith("Bearer "):
+            return None
+        return self.service.authenticate(header[len("Bearer "):])
+
+    def _reject(self) -> None:
+        # Exactly this body on every auth failure: no path echo, no
+        # missing-vs-wrong-vs-expired distinction to probe.
+        self._send_json(401, {"error": "unauthorized"})
+
+    def _unknown_run(self) -> None:
+        self._send_json(404, {"error": "unknown run"})
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        tenant = self._tenant()
+        if tenant is None:
+            self._reject()
+            return
+        parsed = urllib.parse.urlsplit(self.path)
+        matched = _RUN_PATH.match(parsed.path)
+        if matched:
+            try:
+                document = self.service.run_status(matched.group(1))
+            except ValueError:
+                self._unknown_run()
+            else:
+                self._send_json(200, document)
+            return
+        matched = _RESULTS_PATH.match(parsed.path)
+        if matched:
+            query = urllib.parse.parse_qs(parsed.query)
+            try:
+                after = int(query.get("after", ["0"])[0])
+            except ValueError:
+                self._bad_request("after must be an integer")
+                return
+            if after < 0:
+                self._bad_request("after must be >= 0")
+                return
+            try:
+                document = self.service.run_results(matched.group(1), after)
+            except ValueError:
+                self._unknown_run()
+            else:
+                self._send_json(200, document)
+            return
+        matched = _MANIFEST_PATH.match(parsed.path)
+        if matched:
+            try:
+                document = self.service.run_manifest(matched.group(1))
+            except ValueError:
+                self._unknown_run()
+            else:
+                self._send_json(200, document)
+            return
+        _CacheRequestHandler.do_GET(self)
+
+    def do_POST(self) -> None:  # noqa: N802
+        tenant = self._tenant()
+        if tenant is None:
+            self._reject()
+            return
+        if self.path == "/v1/run":
+            body = self._read_body()
+            if body is None:
+                return
+            try:
+                document = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                self._bad_request("body is not valid JSON")
+                return
+            try:
+                reply = self.service.submit(document, tenant)
+            except (KeyError, TypeError, ValueError) as exc:
+                self._bad_request(f"invalid submission: {exc}")
+                return
+            self._send_json(200, reply)
+            return
+        _CacheRequestHandler.do_POST(self)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        tenant = self._tenant()
+        if tenant is None:
+            self._reject()
+            return
+        matched = _RUN_PATH.match(self.path)
+        if matched:
+            try:
+                reply = self.service.cancel(matched.group(1))
+            except ValueError:
+                self._unknown_run()
+            else:
+                self._send_json(200, reply)
+            return
+        _CacheRequestHandler.do_DELETE(self)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        if self._tenant() is None:
+            self._reject()
+            return
+        _CacheRequestHandler.do_HEAD(self)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        if self._tenant() is None:
+            self._reject()
+            return
+        _CacheRequestHandler.do_PUT(self)
+
+
+class JobService:
+    """A running multi-tenant job service (embeddable; used by the CLI).
+
+    Owns the HTTP front door (a :class:`~repro.orchestration
+    .cache_server.CacheServer` with the service handler), the
+    :class:`~repro.orchestration.scheduler.FairScheduler`, and a pool
+    of in-process worker threads pulling from it through
+    :class:`~repro.orchestration.coordinator.LocalFleetClient`.  Binds
+    on construction (``port=0`` → ephemeral, read back from
+    :attr:`url`); serves and executes after :meth:`start`.  Usable as a
+    context manager::
+
+        tokens = [ServiceToken("s3cret", tenant="alice")]
+        with JobService("dir:.repro_cache", tokens, workers=2) as service:
+            client = ServiceClient(service.url, "s3cret")
+            run = client.submit({"topologies": [...], ...})
+            client.wait(run["run_id"])
+
+    ``store`` may be a store URL, a backend, or an
+    :class:`~repro.orchestration.store.ArtifactStore`; it must persist
+    through a backend (the HTTP artifact endpoints serve it).  A store
+    the service opened from a URL/backend is closed on :meth:`stop`; a
+    caller-supplied :class:`ArtifactStore` stays open for the caller.
+    """
+
+    def __init__(
+        self,
+        store: Union[str, StoreBackend, ArtifactStore],
+        tokens: Iterable[Union[str, ServiceToken]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        runs_root: Optional[str] = None,
+        lease_ttl_s: float = 60.0,
+        max_attempts: int = 3,
+        poll_s: float = 0.05,
+        quiet: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        # workers=0 is the front-door-only mode: submissions queue but
+        # nothing executes until workers attach — the acceptance tests
+        # use it to pin queue-state semantics deterministically.
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        normalized: List[ServiceToken] = []
+        for index, token in enumerate(tokens):
+            if isinstance(token, ServiceToken):
+                normalized.append(token)
+            else:
+                normalized.append(
+                    ServiceToken(secret=token, tenant=f"tenant{index + 1}")
+                )
+        if not normalized:
+            raise ValueError(
+                "at least one bearer token is required — the service "
+                "never runs unauthenticated (use serve-cache on a "
+                "trusted network instead)"
+            )
+        self._tokens = tuple(normalized)
+        self._owns_store = not isinstance(store, ArtifactStore)
+        if isinstance(store, ArtifactStore):
+            self.store = store
+        elif isinstance(store, StoreBackend):
+            self.store = ArtifactStore(backend=store)
+        else:
+            self.store = ArtifactStore.from_url(store)
+        if self.store.backend is None:
+            raise ValueError(
+                "the service store must persist through a backend "
+                "(the HTTP artifact endpoints serve it)"
+            )
+        self._clock = clock
+        self.runs_root = runs_root
+        self.workers = workers
+        self.poll_s = poll_s
+        self.scheduler = FairScheduler(
+            lease_ttl_s=lease_ttl_s, max_attempts=max_attempts, clock=clock
+        )
+        self._cache = CacheServer(
+            self.store.backend,
+            host=host,
+            port=port,
+            quiet=quiet,
+            coordinator=self.scheduler,
+            handler_class=_ServiceRequestHandler,
+        )
+        self._cache._httpd.service = self
+        self.host, self.port = self._cache.host, self._cache.port
+        self._runs: Dict[str, _ServiceRun] = {}  # guarded-by: _runs_lock
+        self._runs_lock = threading.Lock()
+        self._seq = 0  # guarded-by: _runs_lock — run-id counter
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    @property
+    def url(self) -> str:
+        """The base URL tenants pass to :class:`ServiceClient`."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- auth --------------------------------------------------------------
+    def authenticate(self, presented: str) -> Optional[str]:
+        """The tenant of a matching live token, else None.
+
+        Every configured token is always compared (no early exit) and
+        each comparison is constant-time, so response timing reveals
+        neither which token matched nor how close a guess came.
+        """
+        presented_bytes = presented.strip().encode("utf-8")
+        now = self._clock()
+        tenant: Optional[str] = None
+        for token in self._tokens:
+            match = hmac.compare_digest(
+                token.secret.encode("utf-8"), presented_bytes
+            )
+            live = token.expires_s is None or now < token.expires_s
+            if match and live and tenant is None:
+                tenant = token.tenant
+        return tenant
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "JobService":
+        """Start serving and executing; returns self for chaining."""
+        self._cache.start()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=run_worker,
+                kwargs={
+                    "coordinator": LocalFleetClient(self.scheduler),
+                    "store": self.store,
+                    "worker_id": f"svc-worker-{index}",
+                    "batch_size": 1,
+                    "poll_s": self.poll_s,
+                    "exit_when_idle": False,
+                    "stop": self._stop,
+                },
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Drain the workers and shut the server down; idempotent."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=30)
+        self._threads = []
+        self._cache.stop()
+        if self._owns_store:
+            self.store.close()
+            self._owns_store = False
+
+    def __enter__(self) -> "JobService":
+        return self.start()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+    # -- the run API (called by the handler and by embedders) --------------
+    def submit(self, document: dict, tenant: str) -> dict:
+        """Plan and register a run; returns the submission receipt.
+
+        ``shared_jobs`` in the receipt counts the jobs another live run
+        had already enqueued — the fleet computes them once and this
+        run simply consumes the artifacts.
+        """
+        spec = spec_from_document(document)
+        plan = plan_sweep(spec)
+        rows = serialize_graph(plan.graph)
+        cells = [
+            {"topology": t, "benchmark": b, "engine": e, "key": key}
+            for (t, b, e), key in plan.cells.items()
+        ]
+        with self._runs_lock:
+            self._seq += 1
+            run_id = f"run{self._seq:04d}-{spec.spec_hash[:8]}"
+        reply = self.scheduler.register_run(run_id, tenant, rows)
+        with self._runs_lock:
+            self._runs[run_id] = _ServiceRun(
+                run_id=run_id,
+                tenant=tenant,
+                spec=spec.to_dict(),
+                cells=cells,
+                num_jobs=len(rows),
+            )
+        return {
+            "run_id": run_id,
+            "tenant": tenant,
+            "num_jobs": len(rows),
+            "num_cells": len(cells),
+            "shared_jobs": reply["known"],
+            "resurrected_jobs": reply["resurrected"],
+        }
+
+    def _get_run(self, run_id: str) -> _ServiceRun:
+        with self._runs_lock:
+            run = self._runs.get(run_id)
+        if run is None:
+            raise ValueError(f"unknown run id {run_id!r}")
+        return run
+
+    def _advance_results(self, run: _ServiceRun, snapshot: dict) -> None:
+        """Consume newly finished cells into the run's result rows.
+
+        Rows are appended strictly in plan order — a cell is consumed
+        only once every cell before it is done — so incremental reads
+        see a stable, deterministic prefix of the final stream, exactly
+        the order a serial ``run_sweep`` would emit.  Cells whose
+        payload has no samples are skipped, matching ``run_sweep``.
+        """
+        states = snapshot["states"]
+        with self._runs_lock:
+            while run.cells_done < len(run.cells):
+                cell = run.cells[run.cells_done]
+                if states.get(cell["key"]) != "done":
+                    break
+                payload = self.store.get("fidelity", cell["key"])
+                if payload is None:
+                    break  # store lagging the ledger: retry next poll
+                run.cells_done += 1
+                samples = payload["samples"]
+                if not samples:
+                    continue
+                run.rows.append(
+                    {
+                        "topology": cell["topology"],
+                        "benchmark": cell["benchmark"],
+                        "engine": cell["engine"],
+                        "mean": sum(samples) / len(samples),
+                        "minimum": min(samples),
+                        "maximum": max(samples),
+                        "num_samples": len(samples),
+                        "samples": samples,
+                    }
+                )
+
+    def run_status(self, run_id: str) -> dict:
+        """One run's progress: state, counts, attribution, failures."""
+        run = self._get_run(run_id)
+        snapshot = self.scheduler.run_snapshot(run_id)
+        self._advance_results(run, snapshot)
+        charged = set(snapshot["charged"])
+        results = snapshot["results"]
+        computed = sum(
+            1
+            for key in charged
+            if results.get(key) == "computed"
+        )
+        cached = snapshot["counts"]["done"] - computed
+        with self._runs_lock:
+            cells_done = run.cells_done
+            num_rows = len(run.rows)
+        document = {
+            "run_id": run_id,
+            "tenant": run.tenant,
+            "state": snapshot["state"],
+            "counts": snapshot["counts"],
+            "computed": computed,
+            "cached": cached,
+            "num_cells": len(run.cells),
+            "cells_done": cells_done,
+            "num_rows": num_rows,
+            "failures": snapshot["failures"],
+        }
+        self._maybe_persist(run, snapshot)
+        return document
+
+    def run_results(self, run_id: str, after: int = 0) -> dict:
+        """Result rows from ``after`` on, plus the resume cursor.
+
+        ``complete=True`` means the stream is final (every cell
+        consumed); a non-``done`` terminal ``state`` with
+        ``complete=False`` means the stream will never finish and the
+        client should stop polling.
+        """
+        run = self._get_run(run_id)
+        snapshot = self.scheduler.run_snapshot(run_id)
+        self._advance_results(run, snapshot)
+        with self._runs_lock:
+            rows = [dict(row) for row in run.rows[after:]]
+            cursor = len(run.rows)
+            complete = run.cells_done == len(run.cells)
+        self._maybe_persist(run, snapshot)
+        return {
+            "run_id": run_id,
+            "state": snapshot["state"],
+            "rows": rows,
+            "next": cursor,
+            "complete": complete,
+        }
+
+    def run_manifest(self, run_id: str) -> dict:
+        """The run's diff-compatible manifest (as persisted on disk).
+
+        A shared job appears as ``computed`` in the manifest of the run
+        it was *charged* to (the run whose fair-share slot scheduled
+        it) and ``cached`` everywhere else, so summing ``jobs.computed``
+        across overlapping runs counts every union job exactly once.
+        """
+        run = self._get_run(run_id)
+        snapshot = self.scheduler.run_snapshot(run_id)
+        self._advance_results(run, snapshot)
+        return self._build_manifest(run, snapshot)
+
+    def _build_manifest(self, run: _ServiceRun, snapshot: dict) -> dict:
+        charged = set(snapshot["charged"])
+        results = snapshot["results"]
+        order = {key: i for i, key in enumerate(snapshot["states"])}
+        stats = RunStats(total=snapshot["counts"]["total"])
+        entries = sorted(
+            snapshot["entries"], key=lambda entry: order[entry["key"]]
+        )
+        for entry in entries:
+            key = entry["key"]
+            computed = (
+                key in charged and results.get(key) == "computed"
+            )
+            row = dict(entry)
+            row["status"] = "computed" if computed else "cached"
+            slot = stats.by_kind.setdefault(
+                row["kind"], {"computed": 0, "cached": 0}
+            )
+            if computed:
+                stats.computed += 1
+                slot["computed"] += 1
+            else:
+                stats.cached += 1
+                slot["cached"] += 1
+            stats.entries.append(row)
+        stats.failures = snapshot["failures"]
+        with self._runs_lock:
+            num_cells = len(run.rows)
+        return {
+            "run_id": run.run_id,
+            "spec": run.spec,
+            "shard": None,
+            "workers": 0,
+            "resume": True,
+            "retries": None,
+            "timeout_s": None,
+            "service": {
+                "tenant": run.tenant,
+                "scheduler": "fair-round-robin",
+                "lease_ttl_s": snapshot["lease_ttl_s"],
+                "max_attempts": snapshot["max_attempts"],
+            },
+            "jobs": stats.to_dict(),
+            "num_cells": num_cells,
+        }
+
+    def _maybe_persist(self, run: _ServiceRun, snapshot: dict) -> None:
+        """Write results.jsonl + manifest.json once a run completes."""
+        if self.runs_root is None or snapshot["state"] != "done":
+            return
+        with self._runs_lock:
+            if run.persisted or run.cells_done < len(run.cells):
+                return
+            run.persisted = True
+            rows = [dict(row) for row in run.rows]
+        manifest = self._build_manifest(run, snapshot)
+        sink = RunSink(os.path.join(self.runs_root, run.run_id))
+        sink.write_results(rows)
+        sink.write_manifest(manifest)
+
+    def cancel(self, run_id: str) -> dict:
+        """Cancel a run's queued jobs (shared/leased jobs keep going)."""
+        self._get_run(run_id)
+        return self.scheduler.cancel_run(run_id)
+
+
+class ServiceClient:
+    """HTTP client for the job service (stdlib only).
+
+    Sends ``Authorization: Bearer <token>`` on every request; protocol
+    and auth failures raise :class:`ServiceError` with the server's
+    error message (``401`` surfaces as ``unauthorized``).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        token: str,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout_s = timeout_s
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        document: Optional[dict] = None,
+    ) -> dict:
+        # repro: lint-ignore[RPR002] service RPC bodies are transport,
+        # not content-keyed artifacts; field order is free
+        body = None if document is None else json.dumps(document).encode()
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, method=method
+        )
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        request.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                status, payload = response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            status, payload = exc.code, exc.read()
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceError(
+                f"service {self.base_url} unreachable: {exc}"
+            ) from exc
+        try:
+            parsed = json.loads(payload.decode("utf-8"))
+        except ValueError:
+            raise ServiceError(
+                f"{method} {path}: invalid JSON response "
+                f"(HTTP {status})"
+            ) from None
+        if status != 200:
+            raise ServiceError(
+                f"{method} {path}: HTTP {status}: "
+                f"{parsed.get('error', 'unknown error')}"
+            )
+        return parsed
+
+    def ping(self) -> dict:
+        """The server's ping document (raises on bad auth)."""
+        return self._call("GET", "/v1/ping")
+
+    def submit(self, document: dict) -> dict:
+        """Submit a sweep spec (or single-flow) document."""
+        return self._call("POST", "/v1/run", document)
+
+    def status(self, run_id: str) -> dict:
+        """One run's progress document."""
+        return self._call("GET", f"/v1/run/{run_id}")
+
+    def results(self, run_id: str, after: int = 0) -> dict:
+        """Result rows from ``after`` on (incremental streaming)."""
+        return self._call(
+            "GET", f"/v1/run/{run_id}/results?after={int(after)}"
+        )
+
+    def manifest(self, run_id: str) -> dict:
+        """The run's diff-compatible manifest."""
+        return self._call("GET", f"/v1/run/{run_id}/manifest")
+
+    def cancel(self, run_id: str) -> dict:
+        """Cancel the run's queued jobs."""
+        return self._call("DELETE", f"/v1/run/{run_id}")
+
+    def wait(
+        self,
+        run_id: str,
+        poll_s: float = 0.2,
+        timeout_s: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> dict:
+        """Poll until the run reaches a terminal state; returns it.
+
+        Raises :class:`ServiceError` when ``timeout_s`` elapses first.
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            status = self.status(run_id)
+            if status["state"] in TERMINAL_RUN_STATES:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"run {run_id} still {status['state']!r} after "
+                    f"{timeout_s:g}s"
+                )
+            sleep(poll_s)
+
+
+def serve_jobs(
+    store_url: str,
+    tokens: Iterable[Union[str, ServiceToken]],
+    host: str = "127.0.0.1",
+    port: int = 8766,
+    workers: int = 2,
+    runs_root: Optional[str] = None,
+    lease_ttl_s: float = 60.0,
+    max_attempts: int = 3,
+    quiet: bool = False,
+) -> JobService:
+    """Open ``store_url`` and return a bound (not yet serving) service."""
+    return JobService(
+        store_url,
+        tokens,
+        host=host,
+        port=port,
+        workers=workers,
+        runs_root=runs_root,
+        lease_ttl_s=lease_ttl_s,
+        max_attempts=max_attempts,
+        quiet=quiet,
+    )

@@ -25,7 +25,7 @@ insertion order is preserved).
 from __future__ import annotations
 
 import json
-from typing import Optional, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.orchestration.backends import (
     DirBackend,
@@ -104,6 +104,43 @@ class ArtifactStore:
             return None  # corrupt artifact: treat as a miss, recompute
         self._memory[key] = payload
         return payload
+
+    def prefetch(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], Optional[dict]]:
+        """Warm the in-memory layer for several artifacts in one pass.
+
+        Pairs already in memory are served from it; the rest go through
+        the backend's :meth:`~repro.orchestration.backends.StoreBackend
+        .get_many`, which remote backends batch — a resume check over N
+        artifacts costs ``ceil(N / batch_size)`` round trips instead of
+        N.  Returns ``(kind, key) -> payload`` (None = absent), and a
+        subsequent :meth:`get` for any returned hit is a pure memory
+        read.
+        """
+        wanted = list(pairs)
+        out: Dict[Tuple[str, str], Optional[dict]] = {}
+        misses = []
+        for kind, key in wanted:
+            if key in self._memory:
+                out[(kind, key)] = self._memory[key]
+            else:
+                misses.append((kind, key))
+        if self.backend is None:
+            out.update({pair: None for pair in misses})
+            return out
+        for (kind, key), text in self.backend.get_many(misses).items():
+            if text is None:
+                out[(kind, key)] = None
+                continue
+            try:
+                payload = json.loads(text)
+            except ValueError:
+                out[(kind, key)] = None  # corrupt: miss, recompute
+                continue
+            self._memory[key] = payload
+            out[(kind, key)] = payload
+        return out
 
     def put(self, kind: str, key: str, payload: dict) -> dict:
         """Store a payload; returns the canonicalized (JSON round-trip) form."""

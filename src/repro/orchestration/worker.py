@@ -256,6 +256,16 @@ def run_worker(
                     client, stats.worker, interval
                 ).start()
             stats.leases += len(jobs)
+            if jobs:
+                # One batched store pass covers the whole lease: the
+                # cache checks and dependency reads in run_one become
+                # memory hits, so a remote store costs ceil(N / batch)
+                # round trips per lease instead of one per artifact.
+                wanted = []
+                for job in jobs:
+                    wanted.append((job["kind"], job["key"]))
+                    wanted.extend(zip(job["dep_kinds"], job["deps"]))
+                store_op(lambda: store.prefetch(wanted))
             for job in jobs:
                 notify("lease", job)
             for index, job in enumerate(jobs):

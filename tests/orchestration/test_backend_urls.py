@@ -1,0 +1,192 @@
+"""Property tests for store-URL resolution (``backend_from_url`` /
+``resolve_store``).
+
+The URL grammar is tiny but it fronts every CLI entry point, so the
+properties are pinned over generated inputs: ``dir:`` / ``sqlite:``
+prefixes strip exactly once, bare paths (including Windows drive-letter
+paths, dotted relatives and trailing slashes) open directory stores,
+``http(s)://`` URLs pass through verbatim (percent-encoding intact,
+trailing slash normalized), and anything that *looks* like an unknown
+scheme fails loudly instead of silently creating a directory called
+``redis:...``.
+"""
+
+import os
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.orchestration import (
+    ArtifactStore,
+    DirBackend,
+    RemoteHTTPBackend,
+    SqliteBackend,
+    TieredStore,
+    backend_from_url,
+    resolve_store,
+)
+
+# Constructing Dir/Sqlite backends touches the filesystem (mkdir /
+# connect), so every generated relative path is resolved inside a
+# sandbox cwd; the fixture is chdir-idempotent across examples, which
+# is why suppressing the function-scoped-fixture health check is safe.
+_SANDBOXED = settings(
+    max_examples=40,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+    deadline=None,
+)
+
+_SEGMENT = st.text(
+    alphabet=string.ascii_lowercase + string.digits + "_-. %",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip(" .") and ".." not in s)
+
+_RELATIVE_PATH = st.lists(_SEGMENT, min_size=1, max_size=4).map(
+    lambda parts: "/".join(parts)
+)
+
+
+@pytest.fixture()
+def sandbox_cwd(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+@_SANDBOXED
+@given(path=_RELATIVE_PATH, trailing=st.booleans())
+def test_bare_path_is_a_directory_store(sandbox_cwd, path, trailing):
+    url = path + "/" if trailing else path
+    backend = backend_from_url(url)
+    assert isinstance(backend, DirBackend)
+    assert os.path.normpath(backend.root) == os.path.normpath(path)
+    # Resolution is deterministic: the same URL opens the same root.
+    assert backend_from_url(url).root == backend.root
+
+
+@_SANDBOXED
+@given(path=_RELATIVE_PATH)
+def test_dir_prefix_strips_exactly_once(sandbox_cwd, path):
+    backend = backend_from_url(f"dir:{path}")
+    assert isinstance(backend, DirBackend)
+    assert backend.root == path
+    # A path that itself contains ":" survives the prefix strip.
+    nested = backend_from_url(f"dir:dir:{path}")
+    assert nested.root == f"dir:{path}"
+
+
+@_SANDBOXED
+@given(name=_SEGMENT)
+def test_sqlite_prefix_opens_the_database_path(sandbox_cwd, name):
+    backend = backend_from_url(f"sqlite:{name}.db")
+    try:
+        assert isinstance(backend, SqliteBackend)
+        assert backend.path == f"{name}.db"
+    finally:
+        backend.close()
+
+
+@_SANDBOXED
+@given(
+    drive=st.sampled_from(string.ascii_letters),
+    rest=_SEGMENT,
+    sep=st.sampled_from(["/", "\\"]),
+)
+def test_windows_drive_letter_is_a_path_not_a_scheme(
+    sandbox_cwd, drive, rest, sep
+):
+    # "C:\cache" / "C:/cache" must open a directory store, not raise
+    # "unsupported scheme 'c'".
+    url = f"{drive}:{sep}{rest}"
+    backend = backend_from_url(url)
+    assert isinstance(backend, DirBackend)
+    assert backend.root == url
+
+
+@given(
+    scheme=st.text(
+        alphabet=string.ascii_lowercase, min_size=2, max_size=10
+    ).filter(lambda s: s not in ("dir", "sqlite", "http", "https")),
+    rest=_SEGMENT,
+)
+@settings(max_examples=60, deadline=None)
+def test_unknown_schemes_fail_loudly(scheme, rest):
+    with pytest.raises(ValueError) as info:
+        backend_from_url(f"{scheme}:{rest}")
+    assert repr(scheme) in str(info.value)
+
+
+@given(
+    secure=st.booleans(),
+    host=st.sampled_from(["localhost", "cache.example.com", "10.0.0.7"]),
+    port=st.integers(min_value=1, max_value=65535),
+    segments=st.lists(
+        st.text(
+            alphabet=string.ascii_lowercase + string.digits + "%",
+            min_size=1,
+            max_size=8,
+        ),
+        max_size=3,
+    ),
+    trailing=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_http_urls_pass_through_verbatim(
+    secure, host, port, segments, trailing
+):
+    scheme = "https" if secure else "http"
+    path = "".join(f"/{segment}" for segment in segments)
+    url = f"{scheme}://{host}:{port}{path}"
+    backend = backend_from_url(url + "/" if trailing else url)
+    assert isinstance(backend, RemoteHTTPBackend)
+    # Percent-encoded octets (e.g. %20) are preserved, the trailing
+    # slash is normalized away, nothing else is rewritten.
+    assert backend.base_url == url
+
+
+def test_existing_backend_passes_through(tmp_path):
+    backend = DirBackend(str(tmp_path / "cache"))
+    assert backend_from_url(backend) is backend
+
+
+def test_resolve_store_matrix(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    memory = resolve_store()
+    assert isinstance(memory, ArtifactStore) and memory.backend is None
+
+    historical = resolve_store(cache_dir="historical")
+    assert isinstance(historical.backend, DirBackend)
+
+    direct = resolve_store(cache_url="dir:direct")
+    assert isinstance(direct.backend, DirBackend)
+    assert direct.backend.root == "direct"
+
+    database = resolve_store(cache_url="sqlite:artifacts.db")
+    try:
+        assert isinstance(database.backend, SqliteBackend)
+    finally:
+        database.backend.close()
+
+    # A local cache_dir next to a local cache_url is redundant tiering
+    # and is ignored for artifacts.
+    local_pair = resolve_store(cache_url="dir:direct", cache_dir="other")
+    assert isinstance(local_pair.backend, DirBackend)
+    assert local_pair.backend.root == "direct"
+
+    remote = resolve_store(cache_url="http://localhost:1/")
+    assert isinstance(remote.backend, RemoteHTTPBackend)
+
+    tiered = resolve_store(
+        cache_url="http://localhost:1/", cache_dir="fast"
+    )
+    assert isinstance(tiered, TieredStore)
+
+
+@_SANDBOXED
+@given(path=_RELATIVE_PATH)
+def test_resolve_store_dir_urls_round_trip(sandbox_cwd, path):
+    store = resolve_store(cache_url=f"dir:{path}")
+    assert isinstance(store.backend, DirBackend)
+    assert store.backend.root == path

@@ -23,6 +23,7 @@ from repro.orchestration import (
     FleetError,
     Job,
     JobGraph,
+    LocalFleetClient,
     RetryPolicy,
     SqliteBackend,
     SweepSpec,
@@ -462,6 +463,43 @@ def test_worker_drains_gracefully_on_stop(fleet_server):
     reply = client.lease("next", max_jobs=4)
     assert len(reply["jobs"]) == 4
     assert {j["attempt"] for j in reply["jobs"]} == {1}
+
+
+def test_worker_sigterm_drain_deterministic():
+    """The SIGTERM-drain contract, pinned without HTTP, subprocesses or
+    wall-clock waits: a stop arriving right after a lease hands every
+    unstarted job back immediately (no TTL expiry on the fake clock)
+    with its attempt budget refunded."""
+    clock = FakeClock()
+    coordinator = FleetCoordinator(
+        lease_ttl_s=10.0, max_attempts=3, clock=clock
+    )
+    client = LocalFleetClient(coordinator)
+    client.enqueue(_fan_jobs(4))
+    stop = threading.Event()
+    stats = run_worker(
+        client,
+        ArtifactStore(),  # memory-only: nothing executes before stop
+        worker_id="drainer",
+        batch_size=4,
+        poll_s=0.0,
+        stop=stop,
+        sleep=lambda _s: None,
+        progress=lambda event, job: (
+            stop.set() if event == "lease" else None
+        ),
+    )
+    assert stats.drained
+    assert stats.leases == 4 and stats.released == 4
+    assert stats.computed == stats.cached == stats.failed == 0
+    # The release is immediate — the fake clock never advanced, so no
+    # lease TTL could have expired — and refunds the attempt, so the
+    # next worker gets all four jobs as first attempts.
+    assert clock.now == 0.0
+    reply = client.lease("next", max_jobs=4)
+    assert len(reply["jobs"]) == 4
+    assert {job["attempt"] for job in reply["jobs"]} == {1}
+    assert coordinator.status()["counts"]["leased"] == 4
 
 
 def test_worker_reports_dependency_unavailable(fleet_server):

@@ -1,0 +1,103 @@
+"""Two-tenant service soak: sustained concurrent submissions.
+
+Runs for ``REPRO_SERVICE_SOAK_S`` seconds (default 3, CI sets 60):
+two tenants loop submit → wait → verify against one live service,
+alternating between two overlapping specs each, so every round
+exercises fresh computation, warm-cache reuse, cross-tenant sharing
+and the fair scheduler under real thread concurrency.  Every round's
+accounting must balance (``computed + cached == total``) and every
+stream must complete.
+
+Marked ``service_soak``; the default duration keeps it tier-1-cheap.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.config import QGDPConfig
+from repro.orchestration import config_to_dict
+from repro.orchestration.service import JobService, ServiceClient, ServiceToken
+
+pytestmark = pytest.mark.service_soak
+
+_CFG = config_to_dict(QGDPConfig(gp_iterations=40))
+
+ALICE = ServiceToken("alice-soak", tenant="alice")
+BOB = ServiceToken("bob-soak", tenant="bob")
+
+
+def _doc(engines, num_seeds):
+    return {
+        "topologies": ["grid"],
+        "benchmarks": ["bv-4"],
+        "engines": list(engines),
+        "num_seeds": num_seeds,
+        "config": _CFG,
+    }
+
+
+def test_two_tenant_soak(tmp_path):
+    duration_s = float(os.environ.get("REPRO_SERVICE_SOAK_S", "3"))
+    deadline = time.monotonic() + duration_s
+    errors = []
+    rounds = {"alice": 0, "bob": 0}
+
+    with JobService(
+        f"dir:{tmp_path / 'cache'}",
+        [ALICE, BOB],
+        workers=2,
+        runs_root=str(tmp_path / "runs"),
+        poll_s=0.02,
+    ) as service:
+
+        def tenant_loop(token, engines):
+            client = ServiceClient(service.url, token.secret)
+            while time.monotonic() < deadline:
+                # Alternate seeds so each tenant cycles two distinct
+                # specs: cold compute, then warm reuse, repeatedly.
+                num_seeds = 1 + rounds[token.tenant] % 2
+                try:
+                    receipt = client.submit(_doc(engines, num_seeds))
+                    status = client.wait(
+                        receipt["run_id"], poll_s=0.05, timeout_s=600
+                    )
+                    if status["state"] != "done":
+                        raise AssertionError(
+                            f"run {receipt['run_id']} ended "
+                            f"{status['state']!r}: {status['failures']}"
+                        )
+                    results = client.results(receipt["run_id"])
+                    if not results["complete"]:
+                        raise AssertionError(
+                            f"run {receipt['run_id']} stream incomplete"
+                        )
+                    manifest = client.manifest(receipt["run_id"])
+                    jobs = manifest["jobs"]
+                    if jobs["computed"] + jobs["cached"] != jobs["total"]:
+                        raise AssertionError(
+                            f"unbalanced manifest for "
+                            f"{receipt['run_id']}: {jobs}"
+                        )
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(f"{token.tenant}: {exc!r}")
+                    return
+                rounds[token.tenant] += 1
+
+        threads = [
+            threading.Thread(
+                target=tenant_loop, args=(ALICE, ("qgdp", "tetris"))
+            ),
+            threading.Thread(
+                target=tenant_loop, args=(BOB, ("qgdp", "abacus"))
+            ),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    assert not errors, errors
+    assert rounds["alice"] >= 1 and rounds["bob"] >= 1, rounds

@@ -1,8 +1,9 @@
 """Scalability — qGDP-LG runtime and quality vs. device size.
 
 The paper motivates qGDP by the scaling of NISQ devices (25 → 127 qubits
-in Table I).  This bench sweeps square grids from 16 to 144 qubits and
-records legalization *and* detailed-placement runtime alongside
+in Table I).  This bench sweeps square grids from 16 to 576 qubits
+(sides 4–24, well past the paper's largest device) and records
+legalization *and* detailed-placement runtime alongside
 integration quality; runtime should grow polynomially (the LP is the
 dominant term, O(n²) constraints) while integration stays near-perfect.
 
@@ -24,7 +25,7 @@ from repro.metrics import check_legality, integration_ratio
 from repro.placement import GlobalPlacer, build_layout
 from repro.topologies import grid_topology
 
-SIDES = (4, 5, 6, 8, 10, 12)
+SIDES = (4, 5, 6, 8, 10, 12, 16, 20, 24)
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
 
@@ -81,3 +82,9 @@ def test_qgdp_scaling_on_grids(benchmark):
     small = max(rows[16]["te_ms"] + rows[16]["td_ms"], 1.0)
     assert rows[64]["te_ms"] + rows[64]["td_ms"] < 60 * small
     assert rows[144]["te_ms"] + rows[144]["td_ms"] < 200 * small
+    # The 256–576-qubit tail (sides 16–24, past the paper's largest
+    # device) must stay polynomial as well: 4x the qubits from 144,
+    # and 2.25x from 256, each within the same generous envelope.
+    assert rows[576]["tq_ms"] < 60 * max(rows[144]["tq_ms"], 1.0)
+    mid = max(rows[256]["te_ms"] + rows[256]["td_ms"], 1.0)
+    assert rows[576]["te_ms"] + rows[576]["td_ms"] < 60 * mid

@@ -33,7 +33,7 @@ from repro.core.config import QGDPConfig
 from repro.detailed.windows import build_window, find_violations
 from repro.frequency.hotspots import qubit_hotspot_pairs, resonator_hotspots
 from repro.legalization.bins import KIND_BLOCK, KIND_QUBIT, BinGrid
-from repro.netlist.clusters import cluster_count
+from repro.netlist.clusters import block_clusters, cluster_count_map
 from repro.netlist.netlist import QuantumNetlist
 from repro.netlist.traces import resonator_trace
 from repro.routing.crossings import (
@@ -221,9 +221,7 @@ class DetailedPlacer:
         )
         crossing_counts = dict(crossing_report.per_resonator)
         pair_counts = dict(crossing_report.pair_crossings)
-        cluster_counts = {
-            r.key: cluster_count(r, lb) for r in netlist.resonators
-        }
+        cluster_counts = cluster_count_map(netlist.resonators, lb)
 
         flagged = find_violations(
             netlist,
@@ -291,10 +289,13 @@ class DetailedPlacer:
             old_samples = samples[key]
             old_bbox = bboxes[key]
             old_pairs = drop_pairs_involving(key)
-            traces[key] = resonator_trace(netlist, resonator, lb)
+            target_cluster_blocks = block_clusters(resonator, lb)
+            traces[key] = resonator_trace(
+                netlist, resonator, lb, clusters=target_cluster_blocks
+            )
             samples[key] = trace_site_indices(traces[key], bins)
             bboxes[key] = trace_bbox(traces[key])
-            target_clusters = cluster_count(resonator, lb)
+            target_clusters = len(target_cluster_blocks)
 
             clusters_after = sum(
                 target_clusters if k == key else cluster_counts[k]

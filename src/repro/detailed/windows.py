@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.frequency.hotspots import resonator_hotspots
 from repro.geometry import SiteGrid
-from repro.netlist.clusters import cluster_count
+from repro.netlist.clusters import cluster_count_map
 from repro.netlist.netlist import QuantumNetlist
 from repro.routing.crossings import count_crossings
 
@@ -58,9 +58,10 @@ def find_violations(
         crossing_scores = {}
         if bins is not None:
             crossing_scores = count_crossings(netlist, bins).per_resonator
+    cluster_counts = cluster_count_map(netlist.resonators, lb)
     flagged = []
     for resonator in netlist.resonators:
-        clusters = cluster_count(resonator, lb)
+        clusters = cluster_counts[resonator.key]
         score = hotspot_scores.get(resonator.key, 0.0)
         crossings = crossing_scores.get(resonator.key, 0)
         if clusters > 1 or score > 0.0 or crossings > 0:

@@ -12,6 +12,11 @@ from repro.evaluation.harness import (
     FidelityCell,
     EngineEvaluation,
 )
+from repro.evaluation.fingerprint import (
+    fingerprint_diff,
+    flow_fingerprint,
+    positions_digest,
+)
 from repro.evaluation.tables import (
     format_fig8,
     format_fig9,
@@ -30,6 +35,9 @@ __all__ = [
     "EngineSweepResult",
     "FidelityCell",
     "EngineEvaluation",
+    "fingerprint_diff",
+    "flow_fingerprint",
+    "positions_digest",
     "format_fig8",
     "format_fig9",
     "format_table2",

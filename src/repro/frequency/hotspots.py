@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.frequency.proximity import DEFAULT_DELTA_C, tau
 from repro.geometry import adjacency_length, gap_between
+from repro.netlist.clusters import block_cluster_map
 from repro.netlist.netlist import QuantumNetlist
 from repro.netlist.traces import resonator_trace
 
@@ -202,12 +203,20 @@ def _trace_pairs(
 
     # Batch every resonator's trace samples into one array pass (walk
     # order: resonator, then segment, then sample).
+    untraced = [
+        r
+        for r in netlist.resonators
+        if traces is None or r.key not in traces
+    ]
+    clusters = block_cluster_map(untraced, lb) if untraced else {}
     segments = []
     for resonator in netlist.resonators:
         if traces is not None and resonator.key in traces:
             trace = traces[resonator.key]
         else:
-            trace = resonator_trace(netlist, resonator, lb)
+            trace = resonator_trace(
+                netlist, resonator, lb, clusters=clusters[resonator.key]
+            )
         idx = raster.key_index[resonator.key]
         for (x1, y1), (x2, y2) in trace:
             length = math.hypot(x2 - x1, y2 - y1)

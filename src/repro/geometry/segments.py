@@ -1,11 +1,48 @@
-"""Line-segment intersection, used by the crossing counter."""
+"""Line-segment intersection, used by the crossing counter.
+
+:func:`segments_intersect` is the scalar kernel; :func:`proper_crossings_mask`
+is its vectorized twin over stacked endpoint arrays.  Both run the same
+IEEE float64 subtractions, multiplications and strict-``tol`` comparisons,
+so the mask is bit-equal to calling the scalar kernel per row.
+"""
 
 from __future__ import annotations
+
+import numpy as np
 
 
 def _orient(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> float:
     """Signed area orientation of triangle (a, b, c)."""
     return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def _orient_rows(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`_orient` over ``(m, 2)`` point arrays."""
+    return (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1]) - (
+        b[:, 1] - a[:, 1]
+    ) * (c[:, 0] - a[:, 0])
+
+
+def proper_crossings_mask(
+    p1: np.ndarray,
+    p2: np.ndarray,
+    q1: np.ndarray,
+    q2: np.ndarray,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Row-wise :func:`segments_intersect` over ``(m, 2)`` endpoint arrays.
+
+    Row ``k`` is True iff ``segments_intersect(p1[k], p2[k], q1[k],
+    q2[k], tol)`` — same orientation arithmetic, same strict
+    double-straddle test, evaluated for all rows in one pass.
+    """
+    d1 = _orient_rows(q1, q2, p1)
+    d2 = _orient_rows(q1, q2, p2)
+    d3 = _orient_rows(p1, p2, q1)
+    d4 = _orient_rows(p1, p2, q2)
+    straddles_q = ((d1 > tol) & (d2 < -tol)) | ((d1 < -tol) & (d2 > tol))
+    straddles_p = ((d3 > tol) & (d4 < -tol)) | ((d3 < -tol) & (d4 > tol))
+    return straddles_q & straddles_p
 
 
 def segments_intersect(

@@ -143,19 +143,90 @@ def build_constraint_graphs(
     return (arcs(h_axis), arcs(v_axis))
 
 
-def transitive_reduction(axis: AxisArcs, num_nodes: int) -> AxisArcs:
+#: Elements per row-chunk of the max-plus closure products; bounds the
+#: peak temporary to ~128 MB of float64 regardless of node count.
+_CLOSURE_CHUNK_ELEMENTS = 16_000_000
+
+
+def _maxplus_product(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """``P[i, j] = max_k left[i, k] + right[k, j]``, chunked over rows.
+
+    Identical values to the one-shot broadcast (same additions, and max
+    is order-free); chunking only bounds the temporary's memory.
+    """
+    n = left.shape[0]
+    chunk = max(1, _CLOSURE_CHUNK_ELEMENTS // (n * n))
+    out = np.empty_like(left)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        out[start:stop] = (
+            left[start:stop, :, None] + right[None, :, :]
+        ).max(axis=1)
+    return out
+
+
+def _reduction_by_reachability(axis: AxisArcs, num_nodes: int) -> AxisArcs:
+    """Drop every arc that a ≥2-edge path re-derives (reachability only).
+
+    Valid whenever any such path forces at least the direct separation —
+    the additive-separation certificate checked by
+    :func:`transitive_reduction`.  Reachability comes from repeated
+    float32 matmul squaring (BLAS), ~ms even at 576 nodes.
+    """
+    adjacency = np.zeros((num_nodes, num_nodes), dtype=np.float32)
+    adjacency[axis.lo, axis.hi] = 1.0
+    reach = adjacency.copy()
+    covered = int(np.count_nonzero(reach))
+    while True:
+        reach = np.minimum(reach + reach @ reach, 1.0)
+        now = int(np.count_nonzero(reach))
+        if now == covered:
+            break
+        covered = now
+    # ≥2 edges: closure hop(s) into some w, then the direct arc w → v.
+    via = reach @ adjacency
+    keep = via[axis.lo, axis.hi] == 0.0
+    return AxisArcs(axis.lo[keep], axis.hi[keep], axis.sep[keep])
+
+
+def transitive_reduction(
+    axis: AxisArcs,
+    num_nodes: int,
+    half_sizes: np.ndarray = None,
+    spacing: float = None,
+) -> AxisArcs:
     """Drop arcs implied by chains of other arcs (same feasible region).
 
     An arc ``u → v`` with separation ``s`` is redundant when some path
     ``u → … → v`` through other arcs already forces ``x_v - x_u`` to at
     least ``s``; the 1-D LP and the snap repair see the same solution set
-    without it.  Computed via the max-plus closure of the separation
-    matrix, O(n³) in NumPy — worth it because it turns the O(n²) LP row
-    count into near-linear rows on well-spread placements.
+    without it.
+
+    When the caller passes ``half_sizes`` (per-node half extents indexed
+    like the arcs) and ``spacing``, and every arc separation decomposes
+    additively as ``half[lo] + half[hi] + spacing``, any 2-path
+    ``u → w → v`` forces ``sep(u,v) + 2·half[w] + spacing ≥ sep(u,v)``
+    — so redundancy degenerates to pure reachability and is computed with
+    float32 boolean matmuls (milliseconds at 576 nodes).  The margin
+    ``2·min(half) + spacing`` must clear float noise for the certificate
+    to hold; otherwise — and whenever the decomposition is absent or
+    inexact — the general max-plus closure runs instead, chunked so the
+    peak temporary stays bounded at any node count.
     """
     m = len(axis)
     if m == 0 or num_nodes < 3:
         return axis
+
+    if half_sizes is not None and spacing is not None and spacing >= 0.0:
+        decomposed = half_sizes[axis.lo] + half_sizes[axis.hi] + spacing
+        margin = 2.0 * float(half_sizes.min(initial=np.inf)) + spacing
+        if (
+            margin > 1e-6
+            and np.all(np.abs(axis.sep - decomposed) <= 1e-9)
+            and np.all(half_sizes >= 0.0)
+        ):
+            return _reduction_by_reachability(axis, num_nodes)
+
     neg = -np.inf
     sep_matrix = np.full((num_nodes, num_nodes), neg)
     sep_matrix[axis.lo, axis.hi] = axis.sep
@@ -164,13 +235,13 @@ def transitive_reduction(axis: AxisArcs, num_nodes: int) -> AxisArcs:
     closure = sep_matrix.copy()
     hops = 1
     while hops < num_nodes:
-        step = (closure[:, :, None] + closure[None, :, :]).max(axis=1)
+        step = _maxplus_product(closure, closure)
         new = np.maximum(closure, step)
         if np.array_equal(new, closure):
             break
         closure = new
         hops *= 2
     # Longest path with >= 2 edges: one closure hop then one more edge.
-    via = (closure[:, :, None] + sep_matrix[None, :, :]).max(axis=1)
+    via = _maxplus_product(closure, sep_matrix)
     keep = via[axis.lo, axis.hi] < axis.sep
     return AxisArcs(axis.lo[keep], axis.hi[keep], axis.sep[keep])

@@ -1,4 +1,4 @@
-"""RPR005 — flat-array probes in ``detailed/`` and ``legalization/``.
+"""RPR005 — flat-array probes in the site/cluster hot-path modules.
 
 PR 1 rebuilt the qGDP hot path on flat NumPy site arrays
 (``kind_flat`` / ``owner_idx_flat`` / ``res_idx_flat``, column-major so
@@ -7,15 +7,20 @@ dict / per-row-bisect structures are kept in lockstep only as the
 mutation bookkeeping inside :class:`~repro.legalization.bins.BinGrid`.
 The ROADMAP maintenance rule — "keep new site probes on the flat
 arrays rather than the dict state" — was enforced by nothing until
-this rule.  In ``src/repro/detailed/`` and ``src/repro/legalization/``
-(``bins.py`` itself excepted, it owns both representations) it flags:
+this rule.  In ``src/repro/detailed/``, ``src/repro/legalization/``
+and the cluster/trace modules of ``src/repro/netlist/`` (``bins.py``
+itself excepted, it owns both representations) it flags:
 
 * attribute access to the legacy internals ``._occupant`` /
   ``._free_rows`` — reach for ``kind_flat`` /
   ``free_cols_in_row`` / ``first_free_col_at_or_after`` instead;
 * ``import bisect`` / ``from bisect import ...`` and ``bisect.*``
   calls — bisecting a per-row free list is the legacy probe pattern;
-  the flat arrays answer the same queries with one vectorized scan.
+  the flat arrays answer the same queries with one vectorized scan;
+* ``id(...)`` calls and ``.setdefault(...)`` — identity-keyed visited
+  maps and per-site dict buckets were the legacy cluster-DFS probes;
+  the batched :func:`~repro.netlist.clusters.block_cluster_map` packs
+  sites into integer keys and labels components in one array pass.
 """
 
 from __future__ import annotations
@@ -31,11 +36,16 @@ _LEGACY_ATTRS = frozenset({"_occupant", "_free_rows"})
 
 @register
 class FlatArrayProbeRule(Rule):
-    """Legacy dict/bisect occupancy probes outside ``bins.py``."""
+    """Legacy dict/bisect/identity occupancy probes outside ``bins.py``."""
 
     id = "RPR005"
     name = "flat-array-probes"
-    scope = ("src/repro/detailed/", "src/repro/legalization/")
+    scope = (
+        "src/repro/detailed/",
+        "src/repro/legalization/",
+        "src/repro/netlist/clusters.py",
+        "src/repro/netlist/traces.py",
+    )
     exempt = ("src/repro/legalization/bins.py",)
 
     def check(self, ctx: FileContext) -> List[Finding]:
@@ -72,6 +82,32 @@ class FlatArrayProbeRule(Rule):
                             node,
                             "from bisect import ... in a site-probe "
                             "module — use the flat NumPy site arrays",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "id":
+                    findings.append(
+                        self._finding(
+                            ctx,
+                            node,
+                            "id()-keyed bookkeeping is the legacy "
+                            "cluster-DFS probe — index blocks by list "
+                            "position/ordinal and label components with "
+                            "the batched array pass (block_cluster_map)",
+                        )
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "setdefault"
+                ):
+                    findings.append(
+                        self._finding(
+                            ctx,
+                            node,
+                            ".setdefault() site buckets are the legacy "
+                            "dict-path probe — pack sites into integer "
+                            "keys and group with one vectorized pass",
                         )
                     )
         return findings

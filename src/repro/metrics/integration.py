@@ -2,18 +2,17 @@
 
 from __future__ import annotations
 
-from repro.netlist.clusters import cluster_count
+from repro.netlist.clusters import cluster_count_map
 from repro.netlist.netlist import QuantumNetlist
 
 
 def total_clusters(netlist: QuantumNetlist, lb: float = 1.0) -> int:
     """``Σ_e |C_e|`` — the Eq. 3 objective over the whole layout."""
-    return sum(cluster_count(r, lb) for r in netlist.resonators)
+    return sum(cluster_count_map(netlist.resonators, lb).values())
 
 
 def integration_ratio(netlist: QuantumNetlist, lb: float = 1.0) -> tuple:
     """``Iedge`` as ``(unified, total)`` — e.g. (37, 40) reads "37/40"."""
-    unified = sum(
-        1 for r in netlist.resonators if cluster_count(r, lb) == 1
-    )
+    counts = cluster_count_map(netlist.resonators, lb)
+    unified = sum(1 for count in counts.values() if count == 1)
     return (unified, netlist.num_resonators)

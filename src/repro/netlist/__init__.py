@@ -21,7 +21,13 @@ from repro.netlist.pseudo import (
     pseudo_connection_nets,
     snake_connection_nets,
 )
-from repro.netlist.clusters import block_clusters, cluster_count, is_unified
+from repro.netlist.clusters import (
+    block_cluster_map,
+    block_clusters,
+    cluster_count,
+    cluster_count_map,
+    is_unified,
+)
 from repro.netlist.traces import resonator_trace, mst_segments
 
 __all__ = [
@@ -37,7 +43,9 @@ __all__ = [
     "build_block_nets",
     "pseudo_connection_nets",
     "snake_connection_nets",
+    "block_cluster_map",
     "block_clusters",
+    "cluster_count_map",
     "resonator_trace",
     "mst_segments",
     "cluster_count",

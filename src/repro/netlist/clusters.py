@@ -8,16 +8,105 @@ every extra cluster forces routed hop(s) and potential airbridge crossings.
 Touching is evaluated on the site grid: two blocks are in the same cluster
 when their sites are 4-adjacent (edge-sharing).  Diagonal contact does not
 merge clusters — a diagonal hop still requires a routed jog.
+
+The extraction is an array-backed batch pass: :func:`block_cluster_map`
+packs every block of every resonator into one flat site-key array (the key
+embeds the resonator index, so clusters can never merge across
+resonators), finds the occupied-site adjacencies with two vectorized
+``searchsorted`` probes (east and north neighbours), and labels components
+with one :func:`scipy.sparse.csgraph.connected_components` call.  The
+historical per-resonator DFS is kept verbatim in
+``tests/netlist/test_clusters_parity.py`` as the parity oracle; cluster
+and block order (smallest ordinal first) are bit-identical.
 """
 
 from __future__ import annotations
 
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components
+
 from repro.netlist.components import Resonator
 
 
-def _site(block, lb: float) -> tuple:
-    """Site coordinates of a block centre (no grid needed, pure arithmetic)."""
-    return (int(round(block.x / lb - 0.5)), int(round(block.y / lb - 0.5)))
+def _component_labels(
+    owner: np.ndarray, cols: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Connected-component label per block under per-owner 4-adjacency.
+
+    Each occupied site is packed into one integer key with a padding row
+    and column per owner, so a ``+1`` (north) or ``+row_span`` (east)
+    neighbour probe can never wrap into another column or another
+    owner's key range.  Blocks sharing a site share a key, hence a label.
+    """
+    col_off = cols - cols.min()
+    row_off = rows - rows.min()
+    col_span = int(col_off.max()) + 2
+    row_span = int(row_off.max()) + 2
+    keys = (owner * col_span + col_off) * row_span + row_off
+
+    sites, site_of = np.unique(keys, return_inverse=True)
+    edge_tails = []
+    edge_heads = []
+    for delta in (1, row_span):  # north, east
+        candidates = sites + delta
+        pos = np.searchsorted(sites, candidates)
+        pos = np.minimum(pos, sites.size - 1)
+        hit = sites[pos] == candidates
+        edge_tails.append(np.nonzero(hit)[0])
+        edge_heads.append(pos[hit])
+    tails = np.concatenate(edge_tails)
+    heads = np.concatenate(edge_heads)
+    graph = coo_matrix(
+        (np.ones(tails.size, dtype=np.int8), (tails, heads)),
+        shape=(sites.size, sites.size),
+    )
+    _, site_component = connected_components(graph, directed=False)
+    return site_component[site_of]
+
+
+def block_cluster_map(resonators: list, lb: float = 1.0) -> dict:
+    """``resonator.key`` → clusters, for all resonators in one array pass.
+
+    Each value matches :func:`block_clusters` for that resonator exactly:
+    lists of touching :class:`~repro.netlist.components.WireBlock`,
+    blocks ordinal-sorted, clusters ordered by smallest block ordinal.
+    """
+    clusters_by_key = {}
+    todo = []
+    for resonator in resonators:
+        if resonator.blocks:
+            todo.append(resonator)
+        else:
+            clusters_by_key[resonator.key] = []
+    if not todo:
+        return clusters_by_key
+
+    counts = np.array([r.num_blocks for r in todo], dtype=np.intp)
+    starts = np.concatenate([[0], np.cumsum(counts)])
+    xs = np.array([b.x for r in todo for b in r.blocks], dtype=np.float64)
+    ys = np.array([b.y for r in todo for b in r.blocks], dtype=np.float64)
+    # Same half-to-even rounding as the scalar ``int(round(...))`` site.
+    cols = np.rint(xs / lb - 0.5).astype(np.int64)
+    rows = np.rint(ys / lb - 0.5).astype(np.int64)
+    owner = np.repeat(np.arange(len(todo), dtype=np.int64), counts)
+    labels = _component_labels(owner, cols, rows)
+
+    for t, resonator in enumerate(todo):
+        local = labels[starts[t] : starts[t + 1]].tolist()
+        blocks = resonator.blocks
+        by_ordinal = sorted(range(len(blocks)), key=lambda k: blocks[k].ordinal)
+        clusters = []
+        bucket_of = {}
+        for k in by_ordinal:
+            bucket = bucket_of.get(local[k])
+            if bucket is None:
+                bucket = []
+                bucket_of[local[k]] = bucket
+                clusters.append(bucket)
+            bucket.append(blocks[k])
+        clusters_by_key[resonator.key] = clusters
+    return clusters_by_key
 
 
 def block_clusters(resonator: Resonator, lb: float = 1.0) -> list:
@@ -25,44 +114,19 @@ def block_clusters(resonator: Resonator, lb: float = 1.0) -> list:
 
     Returns the clusters ``{C^1_e, ..., C^n_e}`` as lists of
     :class:`~repro.netlist.components.WireBlock`, ordered by their smallest
-    block ordinal for determinism.
+    block ordinal for determinism.  Single-resonator view of
+    :func:`block_cluster_map`; batch calls through the map when evaluating
+    many resonators at once.
     """
-    blocks = resonator.blocks
-    if not blocks:
-        return []
-    site_of = {id(b): _site(b, lb) for b in blocks}
-    by_site = {}
-    for b in blocks:
-        by_site.setdefault(site_of[id(b)], []).append(b)
+    return block_cluster_map([resonator], lb)[resonator.key]
 
-    unvisited = {id(b): b for b in blocks}
-    clusters = []
-    while unvisited:
-        _, seed = min(
-            ((b.ordinal, b) for b in unvisited.values()), key=lambda t: t[0]
-        )
-        stack = [seed]
-        del unvisited[id(seed)]
-        cluster = []
-        while stack:
-            cur = stack.pop()
-            cluster.append(cur)
-            col, row = site_of[id(cur)]
-            for ncol, nrow in (
-                (col - 1, row),
-                (col + 1, row),
-                (col, row - 1),
-                (col, row + 1),
-                (col, row),
-            ):
-                for nb in by_site.get((ncol, nrow), ()):
-                    if id(nb) in unvisited:
-                        del unvisited[id(nb)]
-                        stack.append(nb)
-        cluster.sort(key=lambda b: b.ordinal)
-        clusters.append(cluster)
-    clusters.sort(key=lambda c: c[0].ordinal)
-    return clusters
+
+def cluster_count_map(resonators: list, lb: float = 1.0) -> dict:
+    """``resonator.key`` → ``|C_e|`` for all resonators in one array pass."""
+    return {
+        key: len(clusters)
+        for key, clusters in block_cluster_map(resonators, lb).items()
+    }
 
 
 def cluster_count(resonator: Resonator, lb: float = 1.0) -> int:

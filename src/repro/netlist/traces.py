@@ -110,11 +110,21 @@ def qubit_boundary(qubit, samples_per_side: int = 3) -> list:
     return points
 
 
-def resonator_trace(netlist: QuantumNetlist, resonator, lb: float = 1.0) -> list:
-    """The straight-segment connection tree of one resonator."""
+def resonator_trace(
+    netlist: QuantumNetlist, resonator, lb: float = 1.0, clusters: list = None
+) -> list:
+    """The straight-segment connection tree of one resonator.
+
+    ``clusters`` lets a caller that already ran the batched
+    :func:`~repro.netlist.clusters.block_cluster_map` pass this
+    resonator's clusters instead of recomputing them (the cluster pass is
+    about half of a cold trace build).
+    """
     qa = netlist.qubit(resonator.qi)
     qb = netlist.qubit(resonator.qj)
     terminal_sets = [qubit_boundary(qa), qubit_boundary(qb)]
-    for cluster in block_clusters(resonator, lb):
+    if clusters is None:
+        clusters = block_clusters(resonator, lb)
+    for cluster in clusters:
         terminal_sets.append([(b.x, b.y) for b in cluster])
     return mst_segments(terminal_sets)

@@ -40,8 +40,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.geometry.segments import segments_intersect
+from repro.geometry.segments import proper_crossings_mask, segments_intersect
 from repro.legalization.bins import KIND_BLOCK, BinGrid
+from repro.netlist.clusters import block_cluster_map
 from repro.netlist.netlist import QuantumNetlist
 from repro.netlist.traces import resonator_trace
 
@@ -154,7 +155,13 @@ def _bridged_blocks(
 
 
 def _trace_intersections(trace_a: list, trace_b: list) -> int:
-    """Proper segment intersections between two traces."""
+    """Proper segment intersections between two traces (scalar kernel).
+
+    Retained for the incremental :func:`resonator_crossings` path (one
+    trace against the layout); the whole-layout scan batches every
+    surviving candidate pair through :func:`_pair_intersection_counts`
+    instead, which is bit-equal per pair.
+    """
     count = 0
     for seg_a in trace_a:
         for seg_b in trace_b:
@@ -163,9 +170,64 @@ def _trace_intersections(trace_a: list, trace_b: list) -> int:
     return count
 
 
+def _pair_intersection_counts(traces: dict, pairs: list) -> dict:
+    """``{pair: intersections}`` for all candidate pairs in one pass.
+
+    Every trace's segments are stacked once; each pair contributes its
+    full segment cross product as flat index arrays (first trace outer,
+    second inner — the scalar loop order), and one
+    :func:`~repro.geometry.segments.proper_crossings_mask` call tests all
+    pairs' segment combinations together.  Per-pair counts come from a
+    ``bincount`` over the surviving rows, so each count equals the
+    scalar :func:`_trace_intersections` for that pair exactly.
+    """
+    if not pairs:
+        return {}
+    keys = sorted({key for pair in pairs for key in pair})
+    seg_start = {}
+    firsts = []
+    seconds = []
+    total = 0
+    for key in keys:
+        trace = traces[key]
+        seg_start[key] = total
+        for a, b in trace:
+            firsts.append(a)
+            seconds.append(b)
+        total += len(trace)
+    e1 = np.asarray(firsts, dtype=np.float64).reshape(total, 2)
+    e2 = np.asarray(seconds, dtype=np.float64).reshape(total, 2)
+
+    num_a = np.array([len(traces[a]) for a, _ in pairs], dtype=np.intp)
+    num_b = np.array([len(traces[b]) for _, b in pairs], dtype=np.intp)
+    start_a = np.array([seg_start[a] for a, _ in pairs], dtype=np.intp)
+    start_b = np.array([seg_start[b] for _, b in pairs], dtype=np.intp)
+    rows_per_pair = num_a * num_b
+    offsets = np.concatenate([[0], np.cumsum(rows_per_pair)])
+    rows = int(offsets[-1])
+    if rows == 0:
+        return {pair: 0 for pair in pairs}
+    pair_id = np.repeat(np.arange(len(pairs), dtype=np.intp), rows_per_pair)
+    local = np.arange(rows, dtype=np.intp) - offsets[pair_id]
+    ai = start_a[pair_id] + local // num_b[pair_id]
+    bi = start_b[pair_id] + local % num_b[pair_id]
+    mask = proper_crossings_mask(e1[ai], e2[ai], e1[bi], e2[bi])
+    counts = np.bincount(pair_id[mask], minlength=len(pairs))
+    return {pair: int(count) for pair, count in zip(pairs, counts)}
+
+
 def build_traces(netlist: QuantumNetlist, lb: float) -> dict:
-    """``{resonator key: MST trace}`` for the whole layout."""
-    return {r.key: resonator_trace(netlist, r, lb) for r in netlist.resonators}
+    """``{resonator key: MST trace}`` for the whole layout.
+
+    Clusters for all resonators come from one batched
+    :func:`~repro.netlist.clusters.block_cluster_map` pass (the cluster
+    extraction is about half of a cold trace build).
+    """
+    clusters = block_cluster_map(netlist.resonators, lb)
+    return {
+        r.key: resonator_trace(netlist, r, lb, clusters=clusters[r.key])
+        for r in netlist.resonators
+    }
 
 
 def count_crossings(
@@ -209,8 +271,10 @@ def count_crossings(
         bridged = _bridged_blocks(traces[key], key, bins, samples.get(key))
         report.bridged_blocks[key] = sorted(bridged)
         per_res[key] += len(bridged)
-    for key_a, key_b in _candidate_pairs(keys, bboxes):
-        count = _trace_intersections(traces[key_a], traces[key_b])
+    pairs = _candidate_pairs(keys, bboxes)
+    pair_intersections = _pair_intersection_counts(traces, pairs)
+    for key_a, key_b in pairs:
+        count = pair_intersections[(key_a, key_b)]
         if count:
             report.pair_crossings[(key_a, key_b)] = count
             per_res[key_a] += count

@@ -1,0 +1,49 @@
+"""Golden flow fingerprints: the full qGDP flow, pinned per topology.
+
+Each committed baseline under ``baselines/`` records the SHA-256 of the
+flow's final positions plus the headline metrics for one paper topology.
+These tests assert an exact match, so *any* change to placement
+arithmetic — LP presolve, arc reduction, cluster extraction, crossing
+counting — either reproduces the historical flow bit-for-bit or fails
+here.  Deliberate changes are re-baselined with::
+
+    PYTHONPATH=src python tools/write_baselines.py
+
+which prints the field-level diff to commit alongside the change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.fingerprint import fingerprint_diff, flow_fingerprint
+from repro.topologies.registry import PAPER_TOPOLOGIES
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def test_every_paper_topology_has_a_committed_baseline():
+    missing = [
+        name
+        for name in PAPER_TOPOLOGIES
+        if not (BASELINE_DIR / f"{name}.json").exists()
+    ]
+    assert not missing, (
+        f"no golden baseline for {missing}; run tools/write_baselines.py"
+    )
+
+
+@pytest.mark.parametrize("topology", PAPER_TOPOLOGIES)
+def test_flow_fingerprint_matches_baseline(topology):
+    path = BASELINE_DIR / f"{topology}.json"
+    if not path.exists():
+        pytest.skip(f"baseline for {topology} not committed yet")
+    baseline = json.loads(path.read_text())
+    fresh = flow_fingerprint(topology)
+    diff = fingerprint_diff(baseline, fresh)
+    assert not diff, (
+        "golden fingerprint drifted (deliberate? rerun "
+        "tools/write_baselines.py and commit the diff):\n  "
+        + "\n  ".join(diff)
+    )

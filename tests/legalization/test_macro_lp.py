@@ -120,3 +120,79 @@ def test_random_instances_legalize_legally(centers):
     sizes = {i: (3.0, 3.0) for i in indices}
     result = legalize_macros(indices, positions, sizes, grid, spacing=1.0)
     _check_legal(result, indices, sizes, grid, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Warm-start presolve: certificate soundness and objective parity.
+# ---------------------------------------------------------------------------
+
+import numpy as np
+
+from repro.legalization.constraint_graph import build_constraint_arrays
+from repro.legalization.macro_lp import (
+    _INFEASIBLE,
+    _solve_axis,
+    _warm_presolve,
+)
+
+
+def _axis_instance(centers, width, spacing):
+    """One H-axis LP instance from equal 3×3 macros at the given centres."""
+    indices = list(range(len(centers)))
+    positions = {i: (c, 1.5) for i, c in enumerate(centers)}
+    sizes = {i: (3.0, 3.0) for i in indices}
+    ordered, h_arcs, _ = build_constraint_arrays(
+        indices, positions, sizes, spacing
+    )
+    targets = np.array([positions[i][0] for i in indices])
+    half = np.full(len(indices), 1.5)
+    return indices, h_arcs, targets, half
+
+
+def test_presolve_certifies_infeasible_axis():
+    # Three 3-wide macros + spacing 1 need 11 units; only 10 exist.
+    indices, arcs, targets, half = _axis_instance(
+        [2.0, 5.0, 8.0], width=10.0, spacing=1.0
+    )
+    verdict, _ = _warm_presolve(indices, targets, half, arcs, 10.0)
+    assert verdict == _INFEASIBLE
+    # The cold solve agrees, so the fast-fail changes nothing observable.
+    assert _solve_axis(arcs, targets, half, 10.0) is None
+
+
+def test_presolve_optimal_clamp_matches_cold_solve_objective():
+    # Already separated: the clamp shortcut must return the targets.
+    indices, arcs, targets, half = _axis_instance(
+        [2.0, 8.0, 14.0], width=20.0, spacing=1.0
+    )
+    verdict, warm = _warm_presolve(indices, targets, half, arcs, 20.0)
+    assert verdict == "optimal"
+    assert np.allclose(warm, targets)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(1.5, 38.5), min_size=2, max_size=8, unique=True
+    ),
+    st.sampled_from([0.0, 1.0, 2.0]),
+)
+def test_warm_axis_solve_matches_cold_objective(centers, spacing):
+    """Warm and cold axis solves agree on feasibility and objective value."""
+    indices, arcs, targets, half = _axis_instance(
+        centers, width=40.0, spacing=spacing
+    )
+    cold = _solve_axis(arcs, targets, half, 40.0)
+    warm = _solve_axis(
+        arcs, targets, half, 40.0, ids=indices, warm_start=True
+    )
+    assert (cold is None) == (warm is None)
+    if cold is None:
+        return
+    for sol in (cold, warm):
+        assert np.all(sol[arcs.hi] - sol[arcs.lo] >= arcs.sep - 1e-6)
+        assert np.all(sol >= half - 1e-6)
+        assert np.all(sol <= 40.0 - half + 1e-6)
+    cold_obj = np.abs(cold - targets).sum()
+    warm_obj = np.abs(warm - targets).sum()
+    assert warm_obj == pytest.approx(cold_obj, abs=1e-6)

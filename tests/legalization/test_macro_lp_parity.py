@@ -291,7 +291,13 @@ def test_snap_and_repair_matches_scalar_reference(inst, extent):
 def test_legalize_macros_matches_reference_pipeline(inst):
     indices, positions, sizes, spacing = inst
     grid = SiteGrid(30, 30)
-    result = legalize_macros(indices, positions, sizes, grid, spacing)
+    # The cold full-graph path is the scalar oracle; the default
+    # warm-started / arc-reduced path is pinned by tests/golden/ and the
+    # objective-equality suite in test_macro_lp.py instead.
+    result = legalize_macros(
+        indices, positions, sizes, grid, spacing,
+        reduce_arcs=False, warm_start=False,
+    )
 
     h_ref, v_ref = reference_build_constraint_graphs(
         indices, positions, sizes, spacing
@@ -341,7 +347,10 @@ def test_single_macro_degenerate():
 def test_transitive_reduction_preserves_legality(inst):
     indices, positions, sizes, spacing = inst
     grid = SiteGrid(30, 30)
-    full = legalize_macros(indices, positions, sizes, grid, spacing)
+    full = legalize_macros(
+        indices, positions, sizes, grid, spacing,
+        reduce_arcs=False, warm_start=False,
+    )
     reduced = legalize_macros(
         indices, positions, sizes, grid, spacing, reduce_arcs=True
     )

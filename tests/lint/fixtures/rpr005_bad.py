@@ -1,4 +1,4 @@
-"""RPR005 fixture: legacy dict/bisect probes in a site-probe module."""
+"""RPR005 fixture: legacy dict/bisect/identity probes in a site-probe module."""
 
 import bisect
 from bisect import bisect_left
@@ -12,3 +12,11 @@ def frontier(bins, row, col):
 
 def owner(bins, col, row):
     return bins._occupant.get((col, row))  # legacy occupant dict
+
+
+def clusters(blocks):
+    visited = {id(b): False for b in blocks}  # identity-keyed bookkeeping
+    by_site = {}
+    for b in blocks:
+        by_site.setdefault((b.x, b.y), []).append(b)  # dict-path site bucket
+    return visited, by_site

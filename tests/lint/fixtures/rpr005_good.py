@@ -13,3 +13,10 @@ def free_mask(bins):
 
 def owner(bins, col, row):
     return bins.occupant(col, row)
+
+
+def clusters(blocks):
+    # Array pass: integer site keys, component labels, positional index.
+    keys = [int(b.x) * 1000 + int(b.y) for b in blocks]
+    order = sorted(range(len(blocks)), key=lambda k: blocks[k].ordinal)
+    return keys, order

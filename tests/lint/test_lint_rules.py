@@ -21,7 +21,7 @@ CASES = {
     "RPR002": ("src/repro/orchestration/fixture.py", 5),
     "RPR003": ("src/repro/orchestration/fixture.py", 2),
     "RPR004": ("src/repro/orchestration/fixture.py", 5),
-    "RPR005": ("src/repro/legalization/fixture.py", 4),
+    "RPR005": ("src/repro/legalization/fixture.py", 6),
 }
 
 

@@ -1,0 +1,160 @@
+"""Batched array cluster pass vs the historical scalar DFS.
+
+``reference_block_clusters`` below is the pre-vectorization
+``repro.netlist.clusters.block_clusters`` kept verbatim (id()-keyed
+visited set, per-site buckets, ordinal-min seeding).  The shipped
+:func:`~repro.netlist.clusters.block_cluster_map` must reproduce its
+clusters — same partition, same cluster order (smallest block ordinal
+first), same within-cluster block order — for every resonator of a
+batch, including resonators whose blocks touch *other* resonators'
+blocks (clusters never merge across resonators).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import Resonator, WireBlock, block_cluster_map, block_clusters
+
+
+# -- verbatim scalar reference (historical implementation) ------------------
+
+
+def _reference_site(block, lb: float) -> tuple:
+    return (int(round(block.x / lb - 0.5)), int(round(block.y / lb - 0.5)))
+
+
+def reference_block_clusters(resonator, lb: float = 1.0) -> list:
+    blocks = resonator.blocks
+    if not blocks:
+        return []
+    site_of = {id(b): _reference_site(b, lb) for b in blocks}
+    by_site = {}
+    for b in blocks:
+        by_site.setdefault(site_of[id(b)], []).append(b)
+
+    unvisited = {id(b): b for b in blocks}
+    clusters = []
+    while unvisited:
+        _, seed = min(
+            ((b.ordinal, b) for b in unvisited.values()), key=lambda t: t[0]
+        )
+        stack = [seed]
+        del unvisited[id(seed)]
+        cluster = []
+        while stack:
+            cur = stack.pop()
+            cluster.append(cur)
+            col, row = site_of[id(cur)]
+            for ncol, nrow in (
+                (col - 1, row),
+                (col + 1, row),
+                (col, row - 1),
+                (col, row + 1),
+                (col, row),
+            ):
+                for nb in by_site.get((ncol, nrow), ()):
+                    if id(nb) in unvisited:
+                        del unvisited[id(nb)]
+                        stack.append(nb)
+        cluster.sort(key=lambda b: b.ordinal)
+        clusters.append(cluster)
+    clusters.sort(key=lambda c: c[0].ordinal)
+    return clusters
+
+
+# -- strategies -------------------------------------------------------------
+
+COLS = 9
+ROWS = 7
+
+
+@st.composite
+def batches(draw):
+    """A list of resonators with jittered block centres on a small grid.
+
+    Jitter stays below half a site so the scalar round and the array
+    ``np.rint`` agree; duplicate sites within and across resonators are
+    allowed (same-site blocks cluster, cross-resonator contact must not).
+    """
+    lb = draw(st.sampled_from([1.0, 2.0]))
+    num_resonators = draw(st.integers(1, 5))
+    resonators = []
+    for n in range(num_resonators):
+        r = Resonator(qi=2 * n, qj=2 * n + 1, wirelength=1.0)
+        sites = draw(
+            st.lists(
+                st.tuples(st.integers(0, COLS - 1), st.integers(0, ROWS - 1)),
+                min_size=0,
+                max_size=12,
+            )
+        )
+        jitters = draw(
+            st.lists(
+                st.tuples(
+                    st.floats(-0.45, 0.45, allow_nan=False),
+                    st.floats(-0.45, 0.45, allow_nan=False),
+                ),
+                min_size=len(sites),
+                max_size=len(sites),
+            )
+        )
+        r.blocks = [
+            WireBlock(
+                resonator_key=r.key,
+                ordinal=k,
+                x=(c + 0.5 + jx) * lb,
+                y=(w + 0.5 + jy) * lb,
+            )
+            for k, ((c, w), (jx, jy)) in enumerate(zip(sites, jitters))
+        ]
+        resonators.append(r)
+    return (resonators, lb)
+
+
+def _as_ids(clusters: list) -> list:
+    return [[b.node_id for b in cluster] for cluster in clusters]
+
+
+# -- parity -----------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(batch=batches())
+def test_batched_map_matches_scalar_reference(batch):
+    resonators, lb = batch
+    batched = block_cluster_map(resonators, lb)
+    assert set(batched) == {r.key for r in resonators}
+    for r in resonators:
+        expected = reference_block_clusters(r, lb)
+        assert _as_ids(batched[r.key]) == _as_ids(expected)
+        # The blocks themselves (not copies) come back, like the scalar.
+        assert all(
+            b is e
+            for cluster, ref in zip(batched[r.key], expected)
+            for b, e in zip(cluster, ref)
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(batch=batches())
+def test_single_resonator_view_matches_batch(batch):
+    resonators, lb = batch
+    batched = block_cluster_map(resonators, lb)
+    for r in resonators:
+        assert _as_ids(block_clusters(r, lb)) == _as_ids(batched[r.key])
+
+
+def test_adjacent_blocks_of_different_resonators_do_not_merge():
+    a = Resonator(qi=0, qj=1, wirelength=1.0)
+    a.blocks = [WireBlock(resonator_key=a.key, ordinal=0, x=0.5, y=0.5)]
+    b = Resonator(qi=2, qj=3, wirelength=1.0)
+    b.blocks = [
+        WireBlock(resonator_key=b.key, ordinal=0, x=1.5, y=0.5),
+        WireBlock(resonator_key=b.key, ordinal=1, x=0.5, y=0.5),
+    ]
+    clusters = block_cluster_map([a, b])
+    assert len(clusters[a.key]) == 1
+    # b's blocks are 4-adjacent to each other only through a's site —
+    # which belongs to b's own block 1 here, so they do unify; a stays
+    # its own single cluster regardless of sharing the site.
+    assert len(clusters[b.key]) == 1

@@ -6,12 +6,20 @@ non-disjoint pairs (touching boxes included, ``None`` boxes excluded),
 and the full ``count_crossings`` / ``resonator_crossings`` results —
 including dict iteration order, which the Eq. 7 fidelity product folds
 over — must match a verbatim transcription of the old pair loop.
+
+The batched orientation pass is pinned here too:
+``proper_crossings_mask`` row-for-row against the scalar
+``segments_intersect``, and ``_pair_intersection_counts`` pair-for-pair
+against the scalar ``_trace_intersections`` loop it replaced in the
+whole-layout scan.
 """
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry import SiteGrid
+from repro.geometry.segments import proper_crossings_mask, segments_intersect
 from repro.legalization import BinGrid
 from repro.netlist import QuantumNetlist, Qubit, Resonator, WireBlock
 from repro.routing.crossings import (
@@ -19,6 +27,7 @@ from repro.routing.crossings import (
     _bboxes_disjoint,
     _bridged_blocks,
     _candidate_pairs,
+    _pair_intersection_counts,
     _trace_intersections,
     build_traces,
     count_crossings,
@@ -159,6 +168,65 @@ def test_resonator_crossings_cached_paths_agree(layout):
             nl, r, bins, traces=traces, bboxes=bboxes
         )
         assert bare == cached
+
+
+# -- batched orientation tests vs. the scalar kernels ------------------------
+point_st = st.tuples(
+    st.one_of(
+        st.integers(-3, 12).map(float),
+        st.floats(-3.0, 12.0, allow_nan=False, allow_infinity=False),
+    ),
+    st.one_of(
+        st.integers(-3, 12).map(float),
+        st.floats(-3.0, 12.0, allow_nan=False, allow_infinity=False),
+    ),
+)
+segment_st = st.tuples(point_st, point_st)
+
+
+@settings(max_examples=200, deadline=None)
+@given(rows=st.lists(st.tuples(segment_st, segment_st), max_size=20))
+def test_crossings_mask_matches_scalar_kernel(rows):
+    """Shared endpoints, collinear touching, proper crossings — all agree."""
+    want = [
+        segments_intersect(p1, p2, q1, q2)
+        for (p1, p2), (q1, q2) in rows
+    ]
+    stack = lambda pts: np.array(pts, dtype=np.float64).reshape(len(rows), 2)
+    got = proper_crossings_mask(
+        stack([p1 for (p1, _), _ in rows]),
+        stack([p2 for (_, p2), _ in rows]),
+        stack([q1 for _, (q1, _) in rows]),
+        stack([q2 for _, (_, q2) in rows]),
+    )
+    assert got.tolist() == want
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    traces=st.lists(st.lists(segment_st, max_size=6), min_size=2, max_size=6),
+    data=st.data(),
+)
+def test_pair_intersection_counts_match_scalar_loop(traces, data):
+    keyed = {(k, k + 1): trace for k, trace in enumerate(traces)}
+    keys = sorted(keyed)
+    all_pairs = [
+        (a, b) for i, a in enumerate(keys) for b in keys[i + 1 :]
+    ]
+    pairs = data.draw(st.permutations(all_pairs).map(lambda p: p[: len(p)]))
+    got = _pair_intersection_counts(keyed, pairs)
+    assert got == {
+        pair: _trace_intersections(keyed[pair[0]], keyed[pair[1]])
+        for pair in pairs
+    }
+
+
+def test_pair_intersection_counts_empty_inputs():
+    assert _pair_intersection_counts({}, []) == {}
+    keyed = {(0, 1): [], (2, 3): []}
+    assert _pair_intersection_counts(keyed, [((0, 1), (2, 3))]) == {
+        ((0, 1), (2, 3)): 0
+    }
 
 
 def test_empty_and_single_trace_layouts():

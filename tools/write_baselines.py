@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Regenerate the golden flow fingerprints under tests/golden/baselines/.
+
+The golden suite (``tests/golden/test_golden_fingerprints.py``) pins the
+full qGDP flow — final positions hash, cluster counts, crossings,
+hotspot percentage — per paper topology.  When a PR *deliberately*
+changes placement arithmetic (a new LP presolve, a different arc set),
+run this tool, review the printed diff, and commit the regenerated JSON
+files alongside the change.  A golden test failing without a baseline
+diff in the same PR means unintended drift.
+
+Usage::
+
+    PYTHONPATH=src python tools/write_baselines.py            # all topologies
+    PYTHONPATH=src python tools/write_baselines.py --check    # diff only, rc 1 on drift
+    PYTHONPATH=src python tools/write_baselines.py grid eagle # a subset
+
+Exit code 0 when baselines are (now) current, 1 in ``--check`` mode when
+they differ from a fresh run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.evaluation.fingerprint import fingerprint_diff, flow_fingerprint
+from repro.topologies.registry import PAPER_TOPOLOGIES
+
+BASELINE_DIR = (
+    Path(__file__).resolve().parent.parent / "tests" / "golden" / "baselines"
+)
+
+
+def baseline_path(topology: str) -> Path:
+    return BASELINE_DIR / f"{topology}.json"
+
+
+def load_baseline(topology: str) -> dict:
+    path = baseline_path(topology)
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def main(argv: list = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "topologies",
+        nargs="*",
+        default=list(PAPER_TOPOLOGIES),
+        help="topologies to (re)fingerprint; default: all paper topologies",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="only diff against the committed baselines, write nothing",
+    )
+    args = parser.parse_args(argv)
+
+    BASELINE_DIR.mkdir(parents=True, exist_ok=True)
+    drifted = 0
+    for topology in args.topologies:
+        fresh = flow_fingerprint(topology)
+        diff = fingerprint_diff(load_baseline(topology), fresh)
+        if diff:
+            drifted += 1
+            print(f"{topology}:")
+            for line in diff:
+                print(f"  {line}")
+        else:
+            print(f"{topology}: unchanged")
+        if not args.check and diff:
+            baseline_path(topology).write_text(
+                json.dumps(fresh, indent=2, sort_keys=True) + "\n"
+            )
+    if args.check and drifted:
+        print(f"{drifted} baseline(s) drifted; rerun without --check to accept")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
